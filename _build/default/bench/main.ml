@@ -1,0 +1,288 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   section (printed as ASCII tables with the paper's own ratios alongside),
+   runs the ablation benches DESIGN.md lists, and finishes with a bechamel
+   micro-benchmark per table kernel.
+
+     dune exec bench/main.exe            # full pass (FBP_BENCH_SCALE=2)
+     FBP_BENCH_QUICK=1 dune exec bench/main.exe   # small subset
+
+   Absolute numbers differ from the paper (synthetic scaled instances, one
+   container instead of an 8-CPU Xeon); the ratios are the reproduction
+   targets — see EXPERIMENTS.md. *)
+
+let quick () = Sys.getenv_opt "FBP_BENCH_QUICK" <> None
+
+let section title =
+  Printf.printf "\n==================== %s ====================\n\n%!" title
+
+(* ------------------------------------------------------------ ablations *)
+
+let ablation_table () =
+  let t =
+    Fbp_util.Table.create
+      ~title:
+        "ABLATIONS (design `rabe`, no movebounds unless stated): design choices from DESIGN.md"
+      ~header:[ "variant"; "HPWL"; "global time"; "notes" ]
+      ~aligns:[ Fbp_util.Table.Left; Fbp_util.Table.Right; Fbp_util.Table.Right; Fbp_util.Table.Left ]
+      ()
+  in
+  let spec = Option.get (Fbp_workloads.Designs.find_spec "rabe") in
+  let d = Fbp_workloads.Designs.instantiate spec in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  let run name config notes =
+    match Fbp_workloads.Runner.run_fbp ~config inst with
+    | Error e -> Fbp_util.Table.add_row t [ name; "error: " ^ e; "-"; notes ]
+    | Ok m ->
+      Fbp_util.Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.1fk" (m.Fbp_workloads.Runner.hpwl /. 1e3);
+          Fbp_util.Duration.pretty m.Fbp_workloads.Runner.global_time;
+          notes;
+        ]
+  in
+  run "fbp (default)" Fbp_core.Config.default "local QP on, 1 domain";
+  run "fbp, no local QP"
+    { Fbp_core.Config.default with local_qp = false }
+    "realization cost = plain movement penalty";
+  run "fbp, 4 domains"
+    { Fbp_core.Config.default with domains = 4 }
+    "deterministic parallel realization";
+  run "fbp, coarse stop"
+    { Fbp_core.Config.default with min_window_rows = 10.0 }
+    "refinement stops early";
+  (* BestChoice clustering (the paper's setup: ratio 5): cluster, place the
+     coarse netlist, expand, then refine flat *)
+  (let t0 = Unix.gettimeofday () in
+   let nl = d.Fbp_netlist.Design.netlist in
+   let cl = Fbp_netlist.Clustering.best_choice ~ratio:5.0 nl in
+   let coarse_design =
+     { d with
+       Fbp_netlist.Design.netlist = cl.Fbp_netlist.Clustering.coarse;
+       initial =
+         Fbp_netlist.Clustering.coarse_placement cl nl d.Fbp_netlist.Design.initial }
+   in
+   match Fbp_core.Placer.place (Fbp_movebound.Instance.unconstrained coarse_design) with
+   | Error e -> Fbp_util.Table.add_row t [ "fbp + BestChoice r=5"; "error: " ^ e; "-"; "" ]
+   | Ok coarse_rep ->
+     let expanded = Fbp_netlist.Placement.create (Fbp_netlist.Netlist.n_cells nl) in
+     Fbp_netlist.Clustering.expand cl coarse_rep.Fbp_core.Placer.placement expanded;
+     let flat_design = { d with Fbp_netlist.Design.initial = expanded } in
+     (match Fbp_workloads.Runner.run_fbp
+              (Fbp_movebound.Instance.unconstrained flat_design) with
+      | Error e ->
+        Fbp_util.Table.add_row t [ "fbp + BestChoice r=5"; "error: " ^ e; "-"; "" ]
+      | Ok m ->
+        Fbp_util.Table.add_row t
+          [
+            "fbp + BestChoice r=5";
+            Printf.sprintf "%.1fk" (m.Fbp_workloads.Runner.hpwl /. 1e3);
+            Fbp_util.Duration.pretty (Unix.gettimeofday () -. t0);
+            Printf.sprintf "%d coarse cells seed the flat pass"
+              (Fbp_netlist.Netlist.n_cells cl.Fbp_netlist.Clustering.coarse);
+          ]));
+  (* Brenner-Vygen-style flow legalizer vs the default Tetris/interval one *)
+  (match Fbp_core.Placer.place inst with
+   | Error e -> Fbp_util.Table.add_row t [ "fbp + flow legalizer"; "error: " ^ e; "-"; "" ]
+   | Ok rep ->
+     let t0 = Unix.gettimeofday () in
+     let pos = Fbp_netlist.Placement.copy rep.Fbp_core.Placer.placement in
+     let st = Fbp_legalize.Flow_legalizer.run inst rep.Fbp_core.Placer.regions pos in
+     Fbp_util.Table.add_row t
+       [
+         "fbp + flow legalizer [6]";
+         Printf.sprintf "%.1fk" (Fbp_netlist.Hpwl.total d.Fbp_netlist.Design.netlist pos /. 1e3);
+         Fbp_util.Duration.pretty (Unix.gettimeofday () -. t0);
+         Printf.sprintf "avg displacement %.2f rows (Tetris default shown above)"
+           st.Fbp_legalize.Flow_legalizer.avg_displacement;
+       ]);
+  (* recursive-partitioning baseline (global HPWL, pre-legalization) *)
+  (match Fbp_baselines.Recursive.place inst with
+   | Error e -> Fbp_util.Table.add_row t [ "recursive 2x2 (old)"; "error: " ^ e; "-"; "" ]
+   | Ok r ->
+     Fbp_util.Table.add_row t
+       [
+         "recursive 2x2 (old)";
+         Printf.sprintf "%.1fk (global)" (r.Fbp_baselines.Recursive.hpwl /. 1e3);
+         Fbp_util.Duration.pretty r.Fbp_baselines.Recursive.global_time;
+         Printf.sprintf "%d local capacity overruns (the Section-IV drawback)"
+           r.Fbp_baselines.Recursive.overflow_events;
+       ]);
+  Fbp_util.Table.print t
+
+(* --------------------------------------------------------- parallel scan *)
+
+let parallel_table () =
+  let t =
+    Fbp_util.Table.create
+      ~title:"PARALLEL REALIZATION (design `max`): wall time vs domains (paper: up to 7.9x with 8 CPUs)"
+      ~header:[ "domains"; "realization time"; "speedup"; "identical result" ]
+      ()
+  in
+  let spec = Option.get (Fbp_workloads.Designs.find_spec "max") in
+  let d = Fbp_workloads.Designs.instantiate spec in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  let run domains =
+    match Fbp_core.Placer.place ~config:{ Fbp_core.Config.default with domains } inst with
+    | Error e -> failwith e
+    | Ok rep ->
+      let rt =
+        List.fold_left
+          (fun a (l : Fbp_core.Placer.level_report) -> a +. l.Fbp_core.Placer.realization_time)
+          0.0 rep.Fbp_core.Placer.levels
+      in
+      (rt, rep.Fbp_core.Placer.placement)
+  in
+  let base_t, base_p = run 1 in
+  List.iter
+    (fun domains ->
+      let rt, p = run domains in
+      let same = p.Fbp_netlist.Placement.x = base_p.Fbp_netlist.Placement.x in
+      Fbp_util.Table.add_row t
+        [
+          string_of_int domains;
+          Fbp_util.Duration.pretty rt;
+          Printf.sprintf "%.2fx" (base_t /. Float.max 1e-6 rt);
+          string_of_bool same;
+        ])
+    [ 1; 2; 4; 8 ];
+  Fbp_util.Table.print t
+
+(* ------------------------------------------------------------- bechamel *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let spec = Option.get (Fbp_workloads.Designs.find_spec "dagmar") in
+  let d = Fbp_workloads.Designs.instantiate spec in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  let regions =
+    Fbp_movebound.Regions.decompose ~chip:d.Fbp_netlist.Design.chip [||]
+  in
+  let density = Fbp_core.Density.create d in
+  let grid =
+    Fbp_core.Grid.create ~chip:d.Fbp_netlist.Design.chip ~nx:8 ~ny:8 ~regions ~density ()
+  in
+  let pos = d.Fbp_netlist.Design.initial in
+  let nl = d.Fbp_netlist.Design.netlist in
+  let tests =
+    [
+      (* t1: the FBP partitioning kernel (model build + MinCostFlow) *)
+      Test.make ~name:"t1/fbp-flow-model+mcf"
+        (Staged.stage (fun () ->
+             let model = Fbp_core.Fbp_model.build inst regions grid pos in
+             ignore (Fbp_core.Fbp_model.solve model)));
+      (* t2: one global QP solve (the per-level workhorse of Table II runs) *)
+      Test.make ~name:"t2/global-qp"
+        (Staged.stage (fun () ->
+             let p = Fbp_netlist.Placement.copy pos in
+             ignore
+               (Fbp_core.Qp.solve_global Fbp_core.Config.default nl p
+                  ~anchor:(fun _ -> None))));
+      (* t3: region decomposition of a 16-movebound layout *)
+      Test.make ~name:"t3/region-decomposition"
+        (Staged.stage (fun () ->
+             let rng = Fbp_util.Rng.create 5 in
+             let rects =
+               List.init 16 (fun i ->
+                   ignore i;
+                   let x0 = Fbp_util.Rng.range rng 0.0 80.0 in
+                   let y0 = Fbp_util.Rng.range rng 0.0 80.0 in
+                   Fbp_geometry.Rect.of_corner ~x:x0 ~y:y0 ~w:20.0 ~h:20.0)
+             in
+             let mbs =
+               Array.of_list
+                 (List.mapi
+                    (fun i r ->
+                      Fbp_movebound.Movebound.make ~id:i ~name:(string_of_int i)
+                        ~kind:Fbp_movebound.Movebound.Inclusive [ r ])
+                    rects)
+             in
+             ignore
+               (Fbp_movebound.Regions.decompose
+                  ~chip:(Fbp_geometry.Rect.of_corner ~x:0.0 ~y:0.0 ~w:100.0 ~h:100.0)
+                  mbs)));
+      (* t4/t5: movebound feasibility check (Theorem 2 kernel) *)
+      Test.make ~name:"t4/feasibility-maxflow"
+        (Staged.stage (fun () ->
+             ignore (Fbp_movebound.Feasibility.check_instance inst)));
+      (* t6: legalization *)
+      Test.make ~name:"t6/legalization"
+        (Staged.stage (fun () ->
+             let p = Fbp_netlist.Placement.copy pos in
+             ignore
+               (Fbp_legalize.Legalizer.run inst regions p
+                  ~piece_of_cell:(Array.make (Fbp_netlist.Netlist.n_cells nl) (-1))
+                  ~grid:None)));
+      (* t7: HPWL + density scoring (contest formula kernel) *)
+      Test.make ~name:"t7/hpwl+density-score"
+        (Staged.stage (fun () ->
+             ignore (Fbp_workloads.Ispd.score d pos ~time:1.0 ~reference_time:1.0)));
+    ]
+  in
+  Printf.printf "bechamel micro-benchmarks (ns/run, monotonic clock):\n";
+  List.iter
+    (fun test ->
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let res = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        res)
+    tests
+
+(* ----------------------------------------------------------------- main *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "BonnPlace-FBP reproduction benchmark harness\nscale=%.1f cells/paper-kilocell%s\n"
+    (Fbp_workloads.Designs.scale ())
+    (if quick () then " (QUICK subset)" else "");
+  let quick_names = if quick () then Some Fbp_workloads.Designs.quick_names else None in
+  section "TABLE I";
+  let t1, _ = Fbp_workloads.Tables.table1 ~design:(if quick () then "rabe" else "erhard") () in
+  Fbp_util.Table.print t1;
+  section "TABLE II";
+  let t2, _ = Fbp_workloads.Tables.table2 ?names:quick_names () in
+  Fbp_util.Table.print t2;
+  section "TABLE III";
+  let t3, _ = Fbp_workloads.Tables.table3 () in
+  Fbp_util.Table.print t3;
+  section "TABLES IV + VI";
+  let scenarios =
+    if quick () then
+      List.filter
+        (fun (s : Fbp_workloads.Mb_gen.scenario) ->
+          List.mem s.Fbp_workloads.Mb_gen.design [ "rabe"; "ashraf"; "erhard" ])
+        Fbp_workloads.Mb_gen.table3_scenarios
+    else Fbp_workloads.Mb_gen.table3_scenarios
+  in
+  let t4, rows4 = Fbp_workloads.Tables.table4 ~scenarios () in
+  Fbp_util.Table.print t4;
+  Fbp_util.Table.print (Fbp_workloads.Tables.table6 rows4);
+  section "TABLE V";
+  let designs5 =
+    if quick () then [ "rabe"; "ashraf" ] else Fbp_workloads.Mb_gen.table5_designs
+  in
+  let t5, _ = Fbp_workloads.Tables.table5 ~designs:designs5 () in
+  Fbp_util.Table.print t5;
+  section "TABLE VII";
+  let specs7 =
+    if quick () then
+      List.filteri (fun i _ -> i < 2) (Array.to_list Fbp_workloads.Ispd.specs)
+    else Array.to_list Fbp_workloads.Ispd.specs
+  in
+  Fbp_util.Table.print (Fbp_workloads.Tables.table7 ~specs:specs7 ());
+  section "ABLATIONS";
+  ablation_table ();
+  parallel_table ();
+  section "MICRO-BENCHMARKS";
+  bechamel_suite ();
+  Printf.printf "\ntotal bench wall time: %s\n" (Fbp_util.Duration.pretty (Unix.gettimeofday () -. t0))

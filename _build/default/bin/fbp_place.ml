@@ -1,0 +1,173 @@
+(* Command-line driver: generate designs, check movebound feasibility, place
+   with any of the three engines, and draw placements.
+
+     fbp_place generate --cells 5000 -o design.book
+     fbp_place check design.book
+     fbp_place place design.book --tool fbp --svg out.svg
+     fbp_place tables --table 2 --quick *)
+
+open Cmdliner
+
+let read_design path =
+  try Ok (Fbp_netlist.Bookshelf.read_file path) with
+  | Fbp_netlist.Bookshelf.Parse_error (line, msg) ->
+    Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error e -> Error e
+
+(* movebounds are carried in the bookshelf cell column; rebuild rectangles
+   as the bounding boxes of each class's cells is lossy, so the CLI only
+   supports movebounds generated via --movebounds *)
+let instance_of design ~movebounds =
+  if movebounds <= 0 then Fbp_movebound.Instance.unconstrained design
+  else begin
+    let scenario =
+      {
+        Fbp_workloads.Mb_gen.design = design.Fbp_netlist.Design.name;
+        shape = Fbp_workloads.Mb_gen.Flatten movebounds;
+        coverage = 0.5;
+        max_density = 0.75;
+        kind = Fbp_movebound.Movebound.Inclusive;
+      }
+    in
+    Fbp_workloads.Mb_gen.attach scenario design
+  end
+
+(* ------------------------------------------------------------ generate *)
+
+let generate_cmd =
+  let cells =
+    Arg.(value & opt int 2000 & info [ "cells"; "n" ] ~doc:"Number of cells.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let run cells seed out =
+    let d = Fbp_netlist.Generator.quick ~seed ~name:(Filename.basename out) cells in
+    Fbp_netlist.Bookshelf.write_file out d;
+    Printf.printf "wrote %s (%d cells, %d nets)\n" out
+      (Fbp_netlist.Netlist.n_cells d.Fbp_netlist.Design.netlist)
+      (Fbp_netlist.Netlist.n_nets d.Fbp_netlist.Design.netlist);
+    0
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic design.")
+    Term.(const run $ cells $ seed $ out)
+
+(* --------------------------------------------------------------- check *)
+
+let check_cmd =
+  let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN") in
+  let movebounds =
+    Arg.(value & opt int 0 & info [ "movebounds" ] ~doc:"Attach N movebounds first.")
+  in
+  let run input movebounds =
+    match read_design input with
+    | Error e -> prerr_endline e; 1
+    | Ok d ->
+      let inst = instance_of d ~movebounds in
+      (match Fbp_movebound.Feasibility.check_instance inst with
+       | Error e -> prerr_endline e; 1
+       | Ok (Fbp_movebound.Feasibility.Feasible, regions) ->
+         Printf.printf "feasible (%d maximal regions, %d movebounds)\n"
+           (Fbp_movebound.Regions.n_regions regions)
+           (Fbp_movebound.Instance.n_movebounds inst);
+         0
+       | Ok (Fbp_movebound.Feasibility.Infeasible { classes; demand; capacity }, _) ->
+         Printf.printf "INFEASIBLE: classes [%s] demand %.1f > capacity %.1f\n"
+           (String.concat ";" (List.map string_of_int classes)) demand capacity;
+         2)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Movebound feasibility check (Theorems 1-2).")
+    Term.(const run $ input $ movebounds)
+
+(* --------------------------------------------------------------- place *)
+
+let place_cmd =
+  let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN") in
+  let tool =
+    Arg.(value & opt (enum [ ("fbp", `Fbp); ("rql", `Rql); ("kraftwerk", `Kw) ]) `Fbp
+         & info [ "tool" ] ~doc:"Placement engine: fbp | rql | kraftwerk.")
+  in
+  let movebounds =
+    Arg.(value & opt int 0 & info [ "movebounds" ] ~doc:"Attach N movebounds first.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~doc:"Parallel domains (FBP).")
+  in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~doc:"Plot output.") in
+  let run input tool movebounds domains svg =
+    match read_design input with
+    | Error e -> prerr_endline e; 1
+    | Ok d ->
+      let inst = instance_of d ~movebounds in
+      let result =
+        match tool with
+        | `Fbp ->
+          Fbp_workloads.Runner.run_fbp
+            ~config:{ Fbp_core.Config.default with domains } inst
+        | `Rql -> Fbp_workloads.Runner.run_rql inst
+        | `Kw -> Fbp_workloads.Runner.run_kraftwerk inst
+      in
+      (match result with
+       | Error e -> prerr_endline e; 1
+       | Ok m ->
+         Printf.printf "%s: HPWL %.6e  time %.2fs (global %.2fs + legalize %.2fs)\n"
+           m.Fbp_workloads.Runner.tool m.Fbp_workloads.Runner.hpwl
+           m.Fbp_workloads.Runner.total_time m.Fbp_workloads.Runner.global_time
+           m.Fbp_workloads.Runner.legalize_time;
+         Printf.printf "legal=%b movebound-violations=%d\n" m.Fbp_workloads.Runner.legal
+           m.Fbp_workloads.Runner.violations;
+         (match svg with
+          | Some path ->
+            let inst_n =
+              match Fbp_movebound.Instance.normalize inst with Ok i -> i | Error _ -> inst
+            in
+            Fbp_viz.Svg.write_file path
+              (Fbp_viz.Draw.placement inst_n m.Fbp_workloads.Runner.placement);
+            Printf.printf "wrote %s\n" path
+          | None -> ());
+         0)
+  in
+  Cmd.v (Cmd.info "place" ~doc:"Place a design.")
+    Term.(const run $ input $ tool $ movebounds $ domains $ svg)
+
+(* -------------------------------------------------------------- tables *)
+
+let tables_cmd =
+  let which =
+    Arg.(value & opt (some int) None & info [ "table" ] ~doc:"Only table N (1-7).")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small design subset.") in
+  let run which quick =
+    let quick_names = if quick then Some Fbp_workloads.Designs.quick_names else None in
+    let want n = match which with None -> true | Some w -> w = n in
+    if want 1 then begin
+      let t, _ = Fbp_workloads.Tables.table1 ~design:(if quick then "rabe" else "erhard") () in
+      Fbp_util.Table.print t
+    end;
+    if want 2 then begin
+      let t, _ = Fbp_workloads.Tables.table2 ?names:quick_names () in
+      Fbp_util.Table.print t
+    end;
+    if want 3 then begin
+      let t, _ = Fbp_workloads.Tables.table3 () in
+      Fbp_util.Table.print t
+    end;
+    (if want 4 || want 6 then begin
+       let t4, rows = Fbp_workloads.Tables.table4 () in
+       if want 4 then Fbp_util.Table.print t4;
+       if want 6 then Fbp_util.Table.print (Fbp_workloads.Tables.table6 rows)
+     end);
+    if want 5 then begin
+      let t, _ = Fbp_workloads.Tables.table5 () in
+      Fbp_util.Table.print t
+    end;
+    if want 7 then Fbp_util.Table.print (Fbp_workloads.Tables.table7 ());
+    0
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Reproduce the paper's tables.")
+    Term.(const run $ which $ quick)
+
+let () =
+  let info = Cmd.info "fbp_place" ~doc:"BonnPlace-FBP reproduction toolkit." in
+  exit (Cmd.eval' (Cmd.group info [ generate_cmd; check_cmd; place_cmd; tables_cmd ]))

@@ -1,0 +1,1 @@
+examples/figures.ml: Array Design Fbp_core Fbp_geometry Fbp_movebound Fbp_netlist Fbp_viz Generator List Netlist Placement Printf Rect Unix

@@ -1,0 +1,1 @@
+examples/incremental.ml: Array Design Fbp_core Fbp_geometry Fbp_legalize Fbp_movebound Fbp_netlist Fbp_util Generator Hpwl List Netlist Placement Point Printf Rect

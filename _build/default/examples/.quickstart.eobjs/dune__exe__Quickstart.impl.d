@@ -1,0 +1,1 @@
+examples/quickstart.ml: Design Fbp_core Fbp_legalize Fbp_movebound Fbp_netlist Fbp_viz Generator Hpwl List Netlist Printf Unix

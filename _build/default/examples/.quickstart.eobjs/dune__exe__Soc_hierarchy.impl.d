@@ -1,0 +1,1 @@
+examples/soc_hierarchy.ml: Design Fbp_movebound Fbp_netlist Fbp_viz Fbp_workloads List Option Printf Unix

@@ -1,0 +1,1 @@
+examples/voltage_islands.ml: Array Design Fbp_core Fbp_geometry Fbp_legalize Fbp_movebound Fbp_netlist Fbp_util Fbp_viz Generator Hpwl List Netlist Printf Rect String Unix

@@ -1,0 +1,1 @@
+examples/voltage_islands.mli:

@@ -1,0 +1,45 @@
+(* Quickstart: generate a synthetic design, place it with BonnPlace FBP,
+   legalize, and report quality — the smallest complete use of the API.
+
+     dune exec examples/quickstart.exe *)
+
+open Fbp_netlist
+
+let () =
+  (* 1. a synthetic 3000-cell design (deterministic in the seed) *)
+  let design = Generator.quick ~seed:42 ~name:"quickstart" 3000 in
+  Printf.printf "design %s: %d cells, %d nets, whitespace ratio %.2f\n"
+    design.Design.name
+    (Netlist.n_cells design.Design.netlist)
+    (Netlist.n_nets design.Design.netlist)
+    (Design.whitespace_ratio design);
+
+  (* 2. wrap it as a movebound instance (none here) and place *)
+  let inst = Fbp_movebound.Instance.unconstrained design in
+  let report =
+    match Fbp_core.Placer.place inst with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  Printf.printf "global placement: HPWL %.4e in %.2fs over %d levels\n"
+    report.Fbp_core.Placer.hpwl report.Fbp_core.Placer.total_time
+    (List.length report.Fbp_core.Placer.levels);
+
+  (* 3. legalize (rows, no overlaps) and audit *)
+  let pos = report.Fbp_core.Placer.placement in
+  let lst =
+    Fbp_legalize.Legalizer.run inst report.Fbp_core.Placer.regions pos
+      ~piece_of_cell:report.Fbp_core.Placer.piece_of_cell
+      ~grid:report.Fbp_core.Placer.final_grid
+  in
+  let audit = Fbp_legalize.Check.audit design pos in
+  Printf.printf
+    "legalized %d cells (avg displacement %.2f rows) -> legal=%b, HPWL %.4e\n"
+    lst.Fbp_legalize.Legalizer.n_legalized lst.Fbp_legalize.Legalizer.avg_displacement
+    audit.Fbp_legalize.Check.legal
+    (Hpwl.total design.Design.netlist pos);
+
+  (* 4. write the placement plot *)
+  (try Unix.mkdir "out" 0o755 with _ -> ());
+  Fbp_viz.Svg.write_file "out/quickstart.svg" (Fbp_viz.Draw.placement inst pos);
+  print_endline "wrote out/quickstart.svg"

@@ -1,0 +1,48 @@
+(* Flattened SoC hierarchy: overlapping, nested inclusive movebounds.
+
+   The paper motivates movebounds as "a compromise between flat and
+   hierarchical design" (Section I, [3]): flatten the hierarchy but keep
+   each unit's cells inside its floorplan slot, letting the slots overlap
+   at the seams and nest for sub-units — the (O)(F) designs of Table III.
+
+     dune exec examples/soc_hierarchy.exe *)
+
+open Fbp_netlist
+
+let () =
+  let spec = Option.get (Fbp_workloads.Designs.find_spec "trips") in
+  let design = Fbp_workloads.Designs.instantiate ~scale:1.0 spec in
+  let scenario =
+    List.find
+      (fun (s : Fbp_workloads.Mb_gen.scenario) -> s.Fbp_workloads.Mb_gen.design = "trips")
+      Fbp_workloads.Mb_gen.table3_scenarios
+  in
+  let inst = Fbp_workloads.Mb_gen.attach scenario design in
+  let stats = Fbp_workloads.Mb_gen.stats_of scenario inst in
+  Printf.printf
+    "SoC instance: %d cells, %d overlapping movebounds, %.1f%% of cells bound, max density %.0f%%\n"
+    stats.Fbp_workloads.Mb_gen.n_cells stats.Fbp_workloads.Mb_gen.n_movebounds
+    (100.0 *. stats.Fbp_workloads.Mb_gen.pct_bound)
+    (100.0 *. stats.Fbp_workloads.Mb_gen.max_mb_density);
+
+  (* place with FBP and with the RQL baseline: the flow-based partitioning
+     honors every bound; the soft-constraint baseline typically does not *)
+  let fbp = Fbp_workloads.Runner.run_fbp inst in
+  let rql = Fbp_workloads.Runner.run_rql inst in
+  (match (fbp, rql) with
+   | Ok f, Ok r ->
+     Printf.printf "FBP: HPWL %.4e, %3d violations, %.1fs\n" f.Fbp_workloads.Runner.hpwl
+       f.Fbp_workloads.Runner.violations f.Fbp_workloads.Runner.total_time;
+     Printf.printf "RQL: HPWL %.4e, %3d violations, %.1fs\n" r.Fbp_workloads.Runner.hpwl
+       r.Fbp_workloads.Runner.violations r.Fbp_workloads.Runner.total_time;
+     (try Unix.mkdir "out" 0o755 with _ -> ());
+     let inst_n =
+       match Fbp_movebound.Instance.normalize inst with Ok i -> i | Error e -> failwith e
+     in
+     Fbp_viz.Svg.write_file "out/soc_fbp.svg"
+       (Fbp_viz.Draw.placement inst_n f.Fbp_workloads.Runner.placement);
+     Fbp_viz.Svg.write_file "out/soc_rql.svg"
+       (Fbp_viz.Draw.placement inst_n r.Fbp_workloads.Runner.placement);
+     print_endline "wrote out/soc_fbp.svg and out/soc_rql.svg"
+   | Error e, _ | _, Error e -> failwith e);
+  ignore design.Design.name

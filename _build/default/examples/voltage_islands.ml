@@ -1,0 +1,66 @@
+(* Voltage islands: exclusive movebounds (Section I cites Hu et al. [10]).
+
+   Two voltage domains get exclusive islands: their cells must live inside,
+   everyone else must stay out.  The example checks feasibility with the
+   Theorem-2 MaxFlow test first, places with FBP, and verifies zero
+   movebound violations in the legal result.
+
+     dune exec examples/voltage_islands.exe *)
+
+open Fbp_geometry
+open Fbp_netlist
+
+let () =
+  let design = Generator.quick ~seed:7 ~name:"voltage-islands" 4000 in
+  let chip = design.Design.chip in
+  let w = Rect.width chip and h = Rect.height chip in
+  let island name id x0 y0 x1 y1 =
+    Fbp_movebound.Movebound.make ~id ~name ~kind:Fbp_movebound.Movebound.Exclusive
+      [ Rect.make ~x0:(x0 *. w) ~y0:(y0 *. h) ~x1:(x1 *. w) ~y1:(y1 *. h) ]
+  in
+  let movebounds =
+    [| island "vdd-low" 0 0.05 0.55 0.40 0.95; island "vdd-high" 1 0.60 0.05 0.95 0.40 |]
+  in
+  (* assign the domains' cells: 12% to low, 10% to high, by golden position
+     when possible so the netlist stays local *)
+  let nl = design.Design.netlist in
+  let rng = Fbp_util.Rng.create 11 in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    let r = Fbp_util.Rng.float rng in
+    if r < 0.12 then nl.Netlist.movebound.(c) <- 0
+    else if r < 0.22 then nl.Netlist.movebound.(c) <- 1
+  done;
+  let inst = { Fbp_movebound.Instance.design; movebounds } in
+
+  (* feasibility first (Theorems 1-2): the clustered MaxFlow check *)
+  (match Fbp_movebound.Feasibility.check_instance inst with
+   | Error e -> failwith e
+   | Ok (Fbp_movebound.Feasibility.Feasible, regions) ->
+     Printf.printf "feasible: %d maximal regions\n"
+       (Fbp_movebound.Regions.n_regions regions)
+   | Ok (Fbp_movebound.Feasibility.Infeasible { classes; demand; capacity }, _) ->
+     Printf.printf "INFEASIBLE: classes %s demand %.0f > capacity %.0f\n"
+       (String.concat "," (List.map string_of_int classes))
+       demand capacity;
+     exit 1);
+
+  match Fbp_core.Placer.place inst with
+  | Error e -> failwith e
+  | Ok report ->
+    let pos = report.Fbp_core.Placer.placement in
+    let inst_n =
+      match Fbp_movebound.Instance.normalize inst with Ok i -> i | Error e -> failwith e
+    in
+    ignore
+      (Fbp_legalize.Legalizer.run inst_n report.Fbp_core.Placer.regions pos
+         ~piece_of_cell:report.Fbp_core.Placer.piece_of_cell
+         ~grid:report.Fbp_core.Placer.final_grid);
+    let violations = Fbp_movebound.Legality.check inst_n pos in
+    let audit = Fbp_legalize.Check.audit design pos in
+    Printf.printf
+      "placed: HPWL %.4e, legal=%b, movebound violations=%d (must be 0)\n"
+      (Hpwl.total nl pos) audit.Fbp_legalize.Check.legal
+      violations.Fbp_movebound.Legality.n_violations;
+    (try Unix.mkdir "out" 0o755 with _ -> ());
+    Fbp_viz.Svg.write_file "out/voltage_islands.svg" (Fbp_viz.Draw.placement inst_n pos);
+    print_endline "wrote out/voltage_islands.svg"

@@ -1,0 +1,1 @@
+lib/baselines/kraftwerk.mli: Fbp_movebound Fbp_netlist Placement

@@ -1,0 +1,1 @@
+lib/baselines/recursive.ml: Array Design Fbp_core Fbp_flow Fbp_geometry Fbp_movebound Fbp_netlist Fbp_util Hashtbl Hpwl List Netlist Placement Point Rect Rect_set

@@ -1,0 +1,1 @@
+lib/baselines/recursive.mli: Fbp_core Fbp_movebound Fbp_netlist Placement

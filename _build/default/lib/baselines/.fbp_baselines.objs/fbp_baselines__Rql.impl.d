@@ -1,0 +1,1 @@
+lib/baselines/rql.ml: Array Design Fbp_core Fbp_geometry Fbp_legalize Fbp_movebound Fbp_netlist Fbp_util Float Hpwl Netlist Placement Spread

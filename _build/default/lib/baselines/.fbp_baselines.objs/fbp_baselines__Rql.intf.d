@@ -1,0 +1,1 @@
+lib/baselines/rql.mli: Fbp_movebound Fbp_netlist Placement

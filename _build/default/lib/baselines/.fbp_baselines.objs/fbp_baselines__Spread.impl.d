@@ -1,0 +1,1 @@
+lib/baselines/spread.ml: Array Design Fbp_core Fbp_geometry Fbp_netlist Float Netlist Placement Point Rect Rect_set

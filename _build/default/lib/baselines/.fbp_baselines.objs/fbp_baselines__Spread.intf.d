@@ -1,0 +1,1 @@
+lib/baselines/spread.mli: Design Fbp_geometry Fbp_netlist Placement Rect_set

@@ -1,0 +1,29 @@
+(** Kraftwerk2-style baseline [21]: force-directed quadratic placement with
+    a Poisson demand-and-supply potential (Gauss–Seidel).  The Table VII
+    comparator. *)
+
+open Fbp_netlist
+
+type params = {
+  max_iterations : int;
+  step : float;
+  anchor_weight : float;
+  stop_overflow : float;
+  bins_per_axis : int;  (** 0 = auto *)
+  gs_sweeps : int;
+}
+
+val default_params : params
+
+type report = {
+  placement : Placement.t;
+  iterations : int;
+  global_time : float;
+  legalize_time : float;
+  hpwl : float;
+}
+
+(** Solve ∇²φ = ρ on a grid (Dirichlet boundary), for tests. *)
+val poisson : nx:int -> ny:int -> sweeps:int -> float array -> float array
+
+val place : ?params:params -> Fbp_movebound.Instance.t -> (report, string) result

@@ -1,0 +1,14 @@
+(** Classic recursive 2×2 partitioning (old BonnPlace [5], [27]) — the
+    ablation comparator for Section IV's drawbacks: local decisions, no
+    global view, capacity overruns from rounding. *)
+
+open Fbp_netlist
+
+type report = {
+  placement : Placement.t;
+  overflow_events : int;  (** cells force-assigned past subwindow capacity *)
+  global_time : float;
+  hpwl : float;  (** global (pre-legalization) *)
+}
+
+val place : ?config:Fbp_core.Config.t -> Fbp_movebound.Instance.t -> (report, string) result

@@ -1,0 +1,25 @@
+(** RQL-style baseline [25]: relaxed quadratic spreading with
+    linearization, soft movebound handling (clip-to-bound); can violate
+    movebounds on hard instances — exactly the Table IV/V phenomenon. *)
+
+open Fbp_netlist
+
+type params = {
+  max_iterations : int;
+  theta : float;  (** spreading damping *)
+  anchor_base : float;
+  stop_overflow : float;  (** stop when the worst bin ratio is below this *)
+  bins_per_axis : int;  (** 0 = auto (≈10 rows per bin) *)
+}
+
+val default_params : params
+
+type report = {
+  placement : Placement.t;
+  iterations : int;
+  global_time : float;
+  legalize_time : float;
+  hpwl : float;  (** legal placement HPWL *)
+}
+
+val place : ?params:params -> Fbp_movebound.Instance.t -> (report, string) result

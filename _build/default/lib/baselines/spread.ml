@@ -1,0 +1,128 @@
+(* Shared spreading machinery for the force-directed baselines.
+
+   Capacity-proportional remapping: per bin-row (resp. bin-column), map each
+   cell's x (resp. y) through F_cap^{-1} . F_util, where F_util is the
+   cumulative utilization profile along the row and F_cap the cumulative
+   capacity profile.  Overfull stretches of the profile get spread into
+   under-used ones; a damping factor theta blends the mapped position with
+   the current one (the "relaxed" in relaxed quadratic spreading). *)
+
+open Fbp_geometry
+open Fbp_netlist
+
+type bins = {
+  nx : int;
+  ny : int;
+  usage : float array;  (* nx*ny, row-major *)
+  cap : float array;
+}
+
+let compute_bins (design : Design.t) (pos : Placement.t) ~nx ~ny =
+  let usage, cap = Fbp_core.Density.bin_utilization design pos ~nx ~ny in
+  { nx; ny; usage; cap }
+
+(* Worst bin overflow ratio: max over bins of usage / max(cap, eps). *)
+let max_overflow_ratio b =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i u ->
+      let c = b.cap.(i) in
+      if c > 1e-9 then worst := Float.max !worst (u /. c)
+      else if u > 1e-9 then worst := Float.max !worst 10.0)
+    b.usage;
+  !worst
+
+(* Piecewise-linear inverse: given cumulative array cum.(0..n) over
+   boundaries xs.(0..n), find x where cum reaches value v. *)
+let pwl_inverse xs cum v =
+  let n = Array.length cum - 1 in
+  if v <= cum.(0) then xs.(0)
+  else if v >= cum.(n) then xs.(n)
+  else begin
+    let i = ref 0 in
+    while cum.(!i + 1) < v && !i < n - 1 do
+      incr i
+    done;
+    let c0 = cum.(!i) and c1 = cum.(!i + 1) in
+    if c1 -. c0 <= 1e-12 then xs.(!i)
+    else xs.(!i) +. ((v -. c0) /. (c1 -. c0) *. (xs.(!i + 1) -. xs.(!i)))
+  end
+
+(* interpolate cumulative value at x *)
+let pwl_eval xs cum x =
+  let n = Array.length cum - 1 in
+  if x <= xs.(0) then cum.(0)
+  else if x >= xs.(n) then cum.(n)
+  else begin
+    let i = ref 0 in
+    while xs.(!i + 1) < x && !i < n - 1 do
+      incr i
+    done;
+    let x0 = xs.(!i) and x1 = xs.(!i + 1) in
+    if x1 -. x0 <= 1e-12 then cum.(!i)
+    else cum.(!i) +. ((x -. x0) /. (x1 -. x0) *. (cum.(!i + 1) -. cum.(!i)))
+  end
+
+(* One spreading pass: returns target positions (not yet applied). *)
+let targets (design : Design.t) (pos : Placement.t) ~nx ~ny ~theta =
+  let chip = design.Design.chip in
+  let nl = design.Design.netlist in
+  let b = compute_bins design pos ~nx ~ny in
+  let n = Netlist.n_cells nl in
+  let tx = Array.copy pos.Placement.x and ty = Array.copy pos.Placement.y in
+  let bw = Rect.width chip /. float_of_int nx in
+  let bh = Rect.height chip /. float_of_int ny in
+  let xs = Array.init (nx + 1) (fun i -> chip.Rect.x0 +. (float_of_int i *. bw)) in
+  let ys = Array.init (ny + 1) (fun j -> chip.Rect.y0 +. (float_of_int j *. bh)) in
+  (* per bin-row: remap x through capacity profile *)
+  let remap_axis ~along_x =
+    let outer = if along_x then ny else nx in
+    let inner = if along_x then nx else ny in
+    Array.init outer (fun o ->
+        let cum_u = Array.make (inner + 1) 0.0 in
+        let cum_c = Array.make (inner + 1) 0.0 in
+        for i = 0 to inner - 1 do
+          let idx = if along_x then (o * nx) + i else (i * nx) + o in
+          cum_u.(i + 1) <- cum_u.(i) +. b.usage.(idx);
+          cum_c.(i + 1) <- cum_c.(i) +. b.cap.(idx)
+        done;
+        (* scale capacity profile to the same total mass as utilization so
+           the mapping is a bijection of the row *)
+        let total_u = cum_u.(inner) and total_c = cum_c.(inner) in
+        if total_u > 1e-9 && total_c > 1e-9 then begin
+          let scale = total_u /. total_c in
+          Array.iteri (fun i v -> cum_c.(i) <- v *. scale) (Array.copy cum_c)
+        end;
+        (cum_u, cum_c))
+  in
+  let rows = remap_axis ~along_x:true in
+  let cols = remap_axis ~along_x:false in
+  for c = 0 to n - 1 do
+    if not nl.Netlist.fixed.(c) then begin
+      let x = pos.Placement.x.(c) and y = pos.Placement.y.(c) in
+      let bj =
+        max 0 (min (ny - 1) (int_of_float ((y -. chip.Rect.y0) /. bh)))
+      in
+      let bi =
+        max 0 (min (nx - 1) (int_of_float ((x -. chip.Rect.x0) /. bw)))
+      in
+      let cum_u_row, cum_c_row = rows.(bj) in
+      let v = pwl_eval xs cum_u_row x in
+      let mapped_x = pwl_inverse xs cum_c_row v in
+      let cum_u_col, cum_c_col = cols.(bi) in
+      let vy = pwl_eval ys cum_u_col y in
+      let mapped_y = pwl_inverse ys cum_c_col vy in
+      tx.(c) <- x +. (theta *. (mapped_x -. x));
+      ty.(c) <- y +. (theta *. (mapped_y -. y))
+    end
+  done;
+  (tx, ty, b)
+
+(* Clip a target into an admissible area (soft movebound handling). *)
+let clip_into (area : Rect_set.t) x y =
+  let p = Point.make x y in
+  if Rect_set.contains_point area p then (x, y)
+  else begin
+    let q = Rect_set.project_point area p in
+    (q.Point.x, q.Point.y)
+  end

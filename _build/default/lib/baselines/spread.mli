@@ -1,0 +1,26 @@
+(** Shared spreading machinery for the force-directed baselines:
+    capacity-proportional remapping of cell coordinates per bin-row and
+    bin-column. *)
+
+open Fbp_geometry
+open Fbp_netlist
+
+type bins = {
+  nx : int;
+  ny : int;
+  usage : float array;  (** row-major *)
+  cap : float array;
+}
+
+val compute_bins : Design.t -> Placement.t -> nx:int -> ny:int -> bins
+
+(** Worst bin usage/capacity ratio. *)
+val max_overflow_ratio : bins -> float
+
+(** One damped spreading pass; returns target coordinates and the bins. *)
+val targets :
+  Design.t -> Placement.t -> nx:int -> ny:int -> theta:float ->
+  float array * float array * bins
+
+(** Project a target into an admissible area (soft movebound handling). *)
+val clip_into : Rect_set.t -> float -> float -> float * float

@@ -1,0 +1,1 @@
+lib/core/density.ml: Array Fbp_geometry Fbp_netlist Float List Rect Rect_set

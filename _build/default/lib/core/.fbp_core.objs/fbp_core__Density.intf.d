@@ -1,0 +1,1 @@
+lib/core/density.mli: Fbp_geometry Fbp_netlist Point Rect Rect_set

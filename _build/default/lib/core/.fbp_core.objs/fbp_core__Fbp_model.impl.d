@@ -1,0 +1,1 @@
+lib/core/fbp_model.ml: Array Design Fbp_flow Fbp_geometry Fbp_movebound Fbp_netlist Float Graph Grid Hashtbl List Mcf Netlist Placement Point Rect Rect_set

@@ -1,0 +1,1 @@
+lib/core/fbp_model.mli: Fbp_flow Fbp_geometry Fbp_movebound Fbp_netlist Graph Grid Hashtbl Mcf Point

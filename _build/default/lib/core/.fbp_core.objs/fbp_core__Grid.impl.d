@@ -1,0 +1,1 @@
+lib/core/grid.ml: Array Density Fbp_geometry Fbp_movebound Float List Point Rect Rect_set

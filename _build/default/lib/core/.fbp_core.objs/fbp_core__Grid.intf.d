@@ -1,0 +1,1 @@
+lib/core/grid.mli: Density Fbp_geometry Fbp_movebound Point Rect Rect_set

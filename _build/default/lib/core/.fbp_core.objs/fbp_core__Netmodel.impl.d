@@ -1,0 +1,1 @@
+lib/core/netmodel.ml: Array Fbp_linalg Fbp_netlist Netlist Placement

@@ -1,0 +1,1 @@
+lib/core/netmodel.mli: Fbp_linalg Fbp_netlist Netlist Placement

@@ -1,0 +1,1 @@
+lib/core/placer.ml: Array Config Density Design Fbp_flow Fbp_geometry Fbp_model Fbp_movebound Fbp_netlist Fbp_util Grid Hashtbl Hpwl List Netlist Placement Point Printf Qp Realization Rect

@@ -1,0 +1,1 @@
+lib/core/placer.mli: Config Fbp_movebound Fbp_netlist Grid Realization

@@ -1,0 +1,1 @@
+lib/core/qp.ml: Array Config Fbp_linalg Fbp_netlist Float Hashtbl List Netlist Netmodel Placement

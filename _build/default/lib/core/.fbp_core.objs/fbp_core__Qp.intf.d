@@ -1,0 +1,1 @@
+lib/core/qp.mli: Config Fbp_netlist Netlist Netmodel Placement

@@ -1,0 +1,1 @@
+lib/core/realization.ml: Array Config Design Fbp_flow Fbp_geometry Fbp_linalg Fbp_model Fbp_movebound Fbp_netlist Fbp_util Grid Hashtbl List Netlist Netmodel Placement Point Rect Rect_set Transport

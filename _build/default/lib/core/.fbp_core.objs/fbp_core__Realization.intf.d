@@ -1,0 +1,1 @@
+lib/core/realization.mli: Config Fbp_model Fbp_movebound Fbp_netlist

@@ -1,0 +1,1 @@
+lib/core/repartition.ml: Array Config Design Fbp_flow Fbp_geometry Fbp_movebound Fbp_netlist Fbp_util Grid Hpwl List Netlist Placement Placer Qp Rect_set Transport

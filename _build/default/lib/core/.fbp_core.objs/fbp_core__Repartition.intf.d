@@ -1,0 +1,1 @@
+lib/core/repartition.mli: Config Fbp_movebound Fbp_netlist Grid Placer

@@ -1,0 +1,34 @@
+(* Tuning knobs of the global placer.  Defaults follow the paper's setup
+   where it is specific (97% density, 2x3/3x2 realization windows, parallel
+   realization) and common analytic-placement practice elsewhere. *)
+
+type t = {
+  max_levels : int;  (* hard cap on grid refinement levels *)
+  min_window_rows : float;  (* stop refining when windows get this short *)
+  clique_max_degree : int;  (* nets up to this degree use the clique model *)
+  anchor_base : float;  (* anchor weight at level 1 *)
+  anchor_growth : float;  (* multiplicative growth per level *)
+  cg_tol : float;
+  cg_max_iter : int;
+  coarse_span : int;  (* realization window reaches this many windows out *)
+  domains : int;  (* parallel domains for realization (1 = sequential) *)
+  local_qp : bool;  (* run the local QP connectivity step in realization *)
+  capacity_margin : float;  (* flow capacities derated for legalizability *)
+  verbose : bool;
+}
+
+let default =
+  {
+    max_levels = 10;
+    min_window_rows = 2.5;
+    clique_max_degree = 3;
+    anchor_base = 0.02;
+    anchor_growth = 2.6;
+    cg_tol = 1e-5;
+    cg_max_iter = 300;
+    coarse_span = 1;
+    domains = 1;
+    local_qp = true;
+    capacity_margin = 0.94;
+    verbose = false;
+  }

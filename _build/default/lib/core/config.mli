@@ -1,0 +1,21 @@
+(** Tuning knobs of the global placer. *)
+
+type t = {
+  max_levels : int;  (** hard cap on grid refinement levels *)
+  min_window_rows : float;  (** stop refining when windows get this short *)
+  clique_max_degree : int;  (** nets up to this degree use the clique model *)
+  anchor_base : float;  (** QP anchor weight at level 1 *)
+  anchor_growth : float;  (** multiplicative anchor growth per level *)
+  cg_tol : float;
+  cg_max_iter : int;
+  coarse_span : int;  (** realization window reach, in windows *)
+  domains : int;  (** parallel domains for realization (1 = sequential) *)
+  local_qp : bool;  (** run the local QP connectivity step in realization *)
+  capacity_margin : float;
+      (** flow capacities derated for legalizability; automatic fallback to
+          1.0 when the margin makes a movebound class infeasible *)
+  verbose : bool;
+}
+
+(** Paper-faithful defaults (97% density etc.). *)
+val default : t

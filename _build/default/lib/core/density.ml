@@ -1,0 +1,122 @@
+(* Capacity model: how much cell area fits in a piece of chip.
+
+   capa(A) = (area of A minus blockage overlap) * target density — the
+   "capacity" of the paper's Section II, used for region demands in the flow
+   model, window capacities, and the feasibility checks. *)
+
+open Fbp_geometry
+
+type t = {
+  blockages : Rect_set.t;
+  density : float;
+}
+
+let create (d : Fbp_netlist.Design.t) =
+  {
+    blockages = Rect_set.of_rects d.Fbp_netlist.Design.blockages;
+    density = d.Fbp_netlist.Design.target_density;
+  }
+
+let of_parts ~blockages ~density = { blockages = Rect_set.of_rects blockages; density }
+
+let capacity_rect t (r : Rect.t) =
+  let blocked =
+    Rect_set.area (Rect_set.intersect_rect t.blockages r)
+  in
+  Float.max 0.0 ((Rect.area r -. blocked) *. t.density)
+
+let capacity_set t (s : Rect_set.t) =
+  List.fold_left (fun acc r -> acc +. capacity_rect t r) 0.0 (Rect_set.rects s)
+
+(* Free (non-blocked) sub-area of [s], as a rectangle set. *)
+let free_area t (s : Rect_set.t) = Rect_set.subtract s t.blockages
+
+(* Center of gravity of the free area — the embedding point of region nodes
+   ("center-of-gravity of the free area of the region", Section IV-A).
+   Falls back to the raw centroid when fully blocked. *)
+let free_centroid t (s : Rect_set.t) =
+  let free = free_area t s in
+  if Rect_set.area free > 1e-9 then Rect_set.center_of_gravity free
+  else Rect_set.center_of_gravity s
+
+(* Row-usable area of a rectangle set: the union of full-height row strips
+   inside the set, minus the x-extents of blockages touching each strip.
+   This is exactly the area a row-based legalizer can use; computing flow
+   capacities from it (instead of raw area) stops the partitioning from
+   overcommitting regions whose boundaries cut rows. *)
+let usable_rows_area t ~(chip : Rect.t) ~row_height (s : Rect_set.t) =
+  let n_rows = int_of_float (Float.round (Rect.height chip /. row_height)) in
+  let strips = ref [] in
+  for row = 0 to n_rows - 1 do
+    let ry0 = chip.Rect.y0 +. (float_of_int row *. row_height) in
+    let ry1 = ry0 +. row_height in
+    List.iter
+      (fun (r : Rect.t) ->
+        if r.Rect.y0 <= ry0 +. 1e-9 && r.Rect.y1 >= ry1 -. 1e-9 then begin
+          let strip = Rect.make ~x0:r.Rect.x0 ~y0:ry0 ~x1:r.Rect.x1 ~y1:ry1 in
+          (* a blockage overlapping the strip kills its x-extent for the
+             whole row (cells are full-row-height) *)
+          let free =
+            List.fold_left
+              (fun pieces (b : Rect.t) ->
+                if Rect.overlaps b strip then begin
+                  let killer =
+                    Rect.make ~x0:b.Rect.x0 ~y0:ry0 ~x1:b.Rect.x1 ~y1:ry1
+                  in
+                  List.concat_map (fun piece -> Rect.subtract piece killer) pieces
+                end
+                else pieces)
+              [ strip ] (Rect_set.rects t.blockages)
+          in
+          strips := free @ !strips
+        end)
+      (Rect_set.rects s)
+  done;
+  Rect_set.of_disjoint !strips
+
+(* Utilization audit: per-bin movable-area over capacity, for overflow
+   metrics and the ISPD-style density penalty. *)
+let bin_utilization (d : Fbp_netlist.Design.t) (p : Fbp_netlist.Placement.t) ~nx ~ny =
+  let t = create d in
+  let chip = d.Fbp_netlist.Design.chip in
+  let nl = d.Fbp_netlist.Design.netlist in
+  let bw = Rect.width chip /. float_of_int nx in
+  let bh = Rect.height chip /. float_of_int ny in
+  let usage = Array.make (nx * ny) 0.0 in
+  let cap = Array.make (nx * ny) 0.0 in
+  for by = 0 to ny - 1 do
+    for bx = 0 to nx - 1 do
+      let r =
+        Rect.make
+          ~x0:(chip.Rect.x0 +. (float_of_int bx *. bw))
+          ~y0:(chip.Rect.y0 +. (float_of_int by *. bh))
+          ~x1:(chip.Rect.x0 +. (float_of_int (bx + 1) *. bw))
+          ~y1:(chip.Rect.y0 +. (float_of_int (by + 1) *. bh))
+      in
+      cap.((by * nx) + bx) <- capacity_rect t r
+    done
+  done;
+  (* spread each movable cell's area over the bins it overlaps *)
+  for c = 0 to Fbp_netlist.Netlist.n_cells nl - 1 do
+    if not nl.Fbp_netlist.Netlist.fixed.(c) then begin
+      let r = Fbp_netlist.Placement.cell_rect nl p c in
+      let bx0 = max 0 (int_of_float ((r.Rect.x0 -. chip.Rect.x0) /. bw)) in
+      let bx1 = min (nx - 1) (int_of_float ((r.Rect.x1 -. chip.Rect.x0) /. bw)) in
+      let by0 = max 0 (int_of_float ((r.Rect.y0 -. chip.Rect.y0) /. bh)) in
+      let by1 = min (ny - 1) (int_of_float ((r.Rect.y1 -. chip.Rect.y0) /. bh)) in
+      for by = by0 to by1 do
+        for bx = bx0 to bx1 do
+          let bin =
+            Rect.make
+              ~x0:(chip.Rect.x0 +. (float_of_int bx *. bw))
+              ~y0:(chip.Rect.y0 +. (float_of_int by *. bh))
+              ~x1:(chip.Rect.x0 +. (float_of_int (bx + 1) *. bw))
+              ~y1:(chip.Rect.y0 +. (float_of_int (by + 1) *. bh))
+          in
+          usage.((by * nx) + bx) <-
+            usage.((by * nx) + bx) +. Rect.intersection_area r bin
+        done
+      done
+    end
+  done;
+  (usage, cap)

@@ -1,0 +1,71 @@
+(** The flow-based partitioning model (Section IV-A): cell-group, transit
+    and region nodes per window, the four internal edge families plus
+    zero-cost external transit arcs, solved as a MinCostFlow whose size is
+    linear in |W| + |R| (Table I's property — independent of cell count). *)
+
+open Fbp_geometry
+open Fbp_flow
+
+type group = {
+  w : int;  (** window *)
+  m : int;  (** class: movebound id, or [n_movebounds] for unconstrained *)
+  cells : int list;
+  total : float;  (** total cell area (the node's supply) *)
+  cog : Point.t;  (** center of gravity (the node's embedding) *)
+}
+
+type arc_kind =
+  | Cell_to_piece of { group : int; piece : int }  (** E^cr *)
+  | Cell_to_transit of { group : int; dir : int }  (** E^ct *)
+  | Transit_to_transit of { w : int; m : int; from_dir : int; to_dir : int }
+      (** E^tt *)
+  | Transit_to_piece of { w : int; m : int; dir : int; piece : int }  (** E^tr *)
+  | External of { m : int; from_w : int; to_w : int; from_dir : int }
+      (** E^ext (zero cost) *)
+
+type t = {
+  grid : Grid.t;
+  n_classes : int;
+  groups : group array;
+  group_index : (int * int, int) Hashtbl.t;
+  graph : Graph.t;
+  supply : float array;
+  arcs : (int * arc_kind) array;
+  n_nodes : int;
+  n_edges : int;  (** forward arcs (Table I's |E|) *)
+}
+
+type external_flow = {
+  xm : int;  (** class *)
+  from_w : int;
+  to_w : int;
+  from_dir : int;
+  amount : float;
+}
+
+type solution = {
+  model : t;
+  verdict : Mcf.result;
+  allot : float array;
+      (** area of class m prescribed to piece p at [p * n_classes + m] *)
+  externals : external_flow list;  (** flow-carrying external arcs (a DAG) *)
+}
+
+(** Build the instance from current cell positions. *)
+val build :
+  Fbp_movebound.Instance.t -> Fbp_movebound.Regions.t -> Grid.t ->
+  Fbp_netlist.Placement.t -> t
+
+(** Solve; [exact] disables the greedy local-absorption seeding (slower,
+    exactly optimal — the ablation/testing mode).  Zero-cost external
+    cycles are cancelled so [externals] is acyclic per class.  Verdict
+    [Infeasible] certifies (Theorem 3) that no fractional movebounded
+    placement exists. *)
+val solve : ?exact:bool -> t -> solution
+
+(** Flow prescribed from class [m] into piece [piece]. *)
+val allotment : solution -> piece:int -> m:int -> float
+
+(** Remove zero-cost directed flow cycles among external arcs (already
+    called by [solve]). *)
+val cancel_external_cycles : t -> unit

@@ -1,0 +1,150 @@
+(* Quadratic net models: turn nets into springs and assemble the SPD systems
+   that quadratic placement minimizes.
+
+   Small nets use the clique model with weight 2w/p per pin pair; larger
+   nets a star with an auxiliary center variable (keeps the system sparse).
+   Pin offsets enter the right-hand side, fixed pins and cells outside the
+   movable set contribute constants — which is exactly what the realization
+   needs for its local QP "with fixed cells outside W" (Section IV-B). *)
+
+open Fbp_netlist
+
+type system = {
+  n_vars : int;  (* movable-cell vars first, then star vars *)
+  var_of_cell : int array;  (* -1 when the cell is fixed for this solve *)
+  cells : int array;  (* var -> cell id, -1 for star vars *)
+  ax : Fbp_linalg.Csr.t;
+  bx : float array;
+  ay : Fbp_linalg.Csr.t;
+  by : float array;
+}
+
+(* [assemble nl pos ~movable ~nets ~clique_max_degree ~anchor] builds both
+   axis systems.  [anchor cell] returns optional (wx, tx, wy, ty) pulling the
+   cell toward (tx, ty). *)
+let assemble (nl : Netlist.t) (pos : Placement.t) ~(movable : int array)
+    ?(nets : int array = [||]) ~(clique_max_degree : int)
+    ~(anchor : int -> (float * float * float * float) option) () =
+  let n = Netlist.n_cells nl in
+  let var_of_cell = Array.make n (-1) in
+  Array.iteri (fun v c -> var_of_cell.(c) <- v) movable;
+  let n_cell_vars = Array.length movable in
+  let net_ids =
+    if Array.length nets > 0 then nets
+    else Array.init (Netlist.n_nets nl) (fun i -> i)
+  in
+  (* star variables: one per sufficiently wide net with >= 1 movable pin *)
+  let star_var = Array.make (Array.length net_ids) (-1) in
+  let n_vars = ref n_cell_vars in
+  Array.iteri
+    (fun k ni ->
+      let net = nl.Netlist.nets.(ni) in
+      let p = Array.length net.Netlist.pins in
+      if p > clique_max_degree then begin
+        let has_movable =
+          Array.exists
+            (fun (pin : Netlist.pin) -> pin.Netlist.cell >= 0 && var_of_cell.(pin.Netlist.cell) >= 0)
+            net.Netlist.pins
+        in
+        if has_movable then begin
+          star_var.(k) <- !n_vars;
+          incr n_vars
+        end
+      end)
+    net_ids;
+  let nv = !n_vars in
+  let bldx = Fbp_linalg.Csr.builder nv and bldy = Fbp_linalg.Csr.builder nv in
+  let bx = Array.make nv 0.0 and by = Array.make nv 0.0 in
+  (* One spring between two pin endpoints.  Endpoint = (var, offset) with
+     var = -1 meaning fixed at absolute coordinate [abs]. *)
+  let spring axis_bld rhs w (va, da, pa) (vb, db, pb) =
+    if va >= 0 && vb >= 0 then begin
+      if va <> vb then begin
+        Fbp_linalg.Csr.add_spring axis_bld va vb w;
+        rhs.(va) <- rhs.(va) +. (w *. (db -. da));
+        rhs.(vb) <- rhs.(vb) +. (w *. (da -. db))
+      end
+    end
+    else if va >= 0 then begin
+      Fbp_linalg.Csr.add_diag axis_bld va w;
+      rhs.(va) <- rhs.(va) +. (w *. (pb -. da))
+    end
+    else if vb >= 0 then begin
+      Fbp_linalg.Csr.add_diag axis_bld vb w;
+      rhs.(vb) <- rhs.(vb) +. (w *. (pa -. db))
+    end
+  in
+  (* Endpoint descriptors per axis for a pin. *)
+  let endpoint_x (pin : Netlist.pin) =
+    if pin.Netlist.cell < 0 then (-1, 0.0, pin.Netlist.dx)
+    else
+      let v = var_of_cell.(pin.Netlist.cell) in
+      if v >= 0 then (v, pin.Netlist.dx, 0.0)
+      else (-1, 0.0, pos.Placement.x.(pin.Netlist.cell) +. pin.Netlist.dx)
+  in
+  let endpoint_y (pin : Netlist.pin) =
+    if pin.Netlist.cell < 0 then (-1, 0.0, pin.Netlist.dy)
+    else
+      let v = var_of_cell.(pin.Netlist.cell) in
+      if v >= 0 then (v, pin.Netlist.dy, 0.0)
+      else (-1, 0.0, pos.Placement.y.(pin.Netlist.cell) +. pin.Netlist.dy)
+  in
+  Array.iteri
+    (fun k ni ->
+      let net = nl.Netlist.nets.(ni) in
+      let pins = net.Netlist.pins in
+      let p = Array.length pins in
+      if p >= 2 then begin
+        let w_pair = 2.0 *. net.Netlist.weight /. float_of_int p in
+        if star_var.(k) < 0 then begin
+          (* clique (also used for wide all-fixed nets, which cost nothing) *)
+          for i = 0 to p - 1 do
+            for j = i + 1 to p - 1 do
+              spring bldx bx w_pair (endpoint_x pins.(i)) (endpoint_x pins.(j));
+              spring bldy by w_pair (endpoint_y pins.(i)) (endpoint_y pins.(j))
+            done
+          done
+        end
+        else begin
+          let s = star_var.(k) in
+          let w_star = w_pair *. float_of_int p /. float_of_int (p - 1) in
+          for i = 0 to p - 1 do
+            spring bldx bx w_star (endpoint_x pins.(i)) (s, 0.0, 0.0);
+            spring bldy by w_star (endpoint_y pins.(i)) (s, 0.0, 0.0)
+          done
+        end
+      end)
+    net_ids;
+  (* anchors and regularization *)
+  Array.iteri
+    (fun v c ->
+      (match anchor c with
+       | Some (wx, tx, wy, ty) ->
+         Fbp_linalg.Csr.add_diag bldx v wx;
+         bx.(v) <- bx.(v) +. (wx *. tx);
+         Fbp_linalg.Csr.add_diag bldy v wy;
+         by.(v) <- by.(v) +. (wy *. ty)
+       | None -> ());
+      (* tiny regularizer keeps isolated cells solvable, pinned where they are *)
+      let reg = 1e-9 in
+      Fbp_linalg.Csr.add_diag bldx v reg;
+      bx.(v) <- bx.(v) +. (reg *. pos.Placement.x.(c));
+      Fbp_linalg.Csr.add_diag bldy v reg;
+      by.(v) <- by.(v) +. (reg *. pos.Placement.y.(c)))
+    movable;
+  (* star vars regularization (in case every pin of the net is fixed-0) *)
+  for v = n_cell_vars to nv - 1 do
+    Fbp_linalg.Csr.add_diag bldx v 1e-9;
+    Fbp_linalg.Csr.add_diag bldy v 1e-9
+  done;
+  let cells = Array.make nv (-1) in
+  Array.iteri (fun v c -> cells.(v) <- c) movable;
+  {
+    n_vars = nv;
+    var_of_cell;
+    cells;
+    ax = Fbp_linalg.Csr.freeze bldx;
+    bx;
+    ay = Fbp_linalg.Csr.freeze bldy;
+    by;
+  }

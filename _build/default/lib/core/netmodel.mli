@@ -1,0 +1,31 @@
+(** Quadratic net models: nets become springs, assembled into the SPD
+    systems quadratic placement minimizes (clique for small nets, star with
+    an auxiliary variable for wide ones; pin offsets on the right-hand
+    side; fixed pins and non-movable cells as constants). *)
+
+open Fbp_netlist
+
+type system = {
+  n_vars : int;  (** movable-cell vars first, then star vars *)
+  var_of_cell : int array;  (** -1 when the cell is fixed for this solve *)
+  cells : int array;  (** var → cell id, -1 for star vars *)
+  ax : Fbp_linalg.Csr.t;
+  bx : float array;
+  ay : Fbp_linalg.Csr.t;
+  by : float array;
+}
+
+(** [assemble nl pos ~movable ~nets ~clique_max_degree ~anchor ()] builds
+    both axis systems.  [nets] restricts assembly to a net subset (default:
+    all); [anchor cell] returns an optional [(wx, tx, wy, ty)] pulling the
+    cell toward [(tx, ty)].  Cells outside [movable] contribute constants
+    evaluated at [pos] — the "fixed cells outside W" of the local QP. *)
+val assemble :
+  Netlist.t ->
+  Placement.t ->
+  movable:int array ->
+  ?nets:int array ->
+  clique_max_degree:int ->
+  anchor:(int -> (float * float * float * float) option) ->
+  unit ->
+  system

@@ -1,0 +1,217 @@
+(* The BonnPlace-FBP global placement driver.
+
+   Multilevel loop: at level l the chip is divided into a 2^l x 2^l window
+   grid; a global QP (anchored to the previous level's realization) restores
+   connectivity, then the flow-based partitioning assigns cells to region
+   pieces respecting capacities and movebounds, and the realization turns
+   the flow into concrete positions.  Levels refine until windows are a few
+   rows tall; the result feeds the legalizer.
+
+   Every level records the Table I instrumentation: flow-model size (|V|,
+   |E|), window and region-piece counts, and the wall-clock split between
+   flow computation and realization. *)
+
+open Fbp_netlist
+open Fbp_geometry
+
+type level_report = {
+  level : int;
+  nx : int;
+  ny : int;
+  n_windows : int;
+  n_pieces : int;
+  flow_nodes : int;
+  flow_edges : int;
+  qp_time : float;
+  flow_time : float;  (* model build + MinCostFlow *)
+  realization_time : float;
+  hpwl : float;
+  realization : Realization.stats;
+}
+
+type report = {
+  placement : Placement.t;
+  piece_of_cell : int array;  (* final-level region-piece assignment *)
+  regions : Fbp_movebound.Regions.t;
+  final_grid : Grid.t option;
+  levels : level_report list;
+  total_time : float;
+  hpwl : float;
+}
+
+let log_verbose (cfg : Config.t) fmt =
+  if cfg.Config.verbose then Printf.eprintf fmt
+  else Printf.ifprintf stderr fmt
+
+(* Number of levels: refine while windows stay at least [min_window_rows]
+   rows tall and the flow model stays tractable.  The MinCostFlow size (and
+   the successive-shortest-paths cost) grows with windows x movebound
+   classes, so movebound-heavy instances stop a level earlier than plain
+   ones (the paper's network simplex absorbed finer grids; see DESIGN.md). *)
+let n_levels (cfg : Config.t) (design : Design.t) =
+  let chip_h = Rect.height design.Design.chip in
+  let nl = design.Design.netlist in
+  let n_movable = ref 0 in
+  let classes = Hashtbl.create 8 in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    if not nl.Netlist.fixed.(c) then begin
+      incr n_movable;
+      Hashtbl.replace classes nl.Netlist.movebound.(c) ()
+    end
+  done;
+  let per_window =
+    if Hashtbl.length classes > 4 then 20
+    else if !n_movable < 3000 then 4  (* small designs need the finer grid *)
+    else 6
+  in
+  let rec go l =
+    let windows_h = chip_h /. float_of_int (1 lsl l) in
+    if l >= cfg.Config.max_levels
+       || windows_h < cfg.Config.min_window_rows *. design.Design.row_height
+       || (1 lsl (2 * l)) * per_window > !n_movable
+    then l - 1
+    else go (l + 1)
+  in
+  max 1 (go 1)
+
+let place ?(config = Config.default) ?on_level (inst0 : Fbp_movebound.Instance.t) =
+  match Fbp_movebound.Instance.normalize inst0 with
+  | Error e -> Error ("movebound normalization failed: " ^ e)
+  | Ok inst ->
+    let design = inst.Fbp_movebound.Instance.design in
+    let nl = design.Design.netlist in
+    let t_start = Fbp_util.Timer.now () in
+    let regions =
+      Fbp_movebound.Regions.decompose ~chip:design.Design.chip
+        inst.Fbp_movebound.Instance.movebounds
+    in
+    let density = Density.create design in
+    (* row-usable area per region: flow capacities must not exceed what the
+       row-based legalizer can actually realize *)
+    let usable =
+      Array.map
+        (fun (r : Fbp_movebound.Regions.region) ->
+          Density.usable_rows_area density ~chip:design.Design.chip
+            ~row_height:design.Design.row_height r.Fbp_movebound.Regions.area)
+        regions.Fbp_movebound.Regions.regions
+    in
+    let cell_nets = Netlist.cell_nets nl in
+    let pos = Placement.copy design.Design.initial in
+    let chip_center = Rect.center design.Design.chip in
+    (* Level 0: plain global QP, weakly anchored at the chip center so that
+       components without fixed pins stay determined. *)
+    let qp0 =
+      Fbp_util.Timer.time (fun () ->
+          Qp.solve_global config nl pos ~anchor:(fun _ ->
+              Some (1e-6, chip_center.Point.x, 1e-6, chip_center.Point.y)))
+    in
+    ignore qp0;
+    let levels = ref [] in
+    let piece_of_cell = ref (Array.make (Netlist.n_cells nl) (-1)) in
+    let final_grid = ref None in
+    let max_level = n_levels config design in
+    let error = ref None in
+    let margin_ok = ref true in
+    let anchor_pos = ref (Placement.copy pos) in
+    (* anchor targets: positions after the previous realization *)
+    let l = ref 1 in
+    while !error = None && !l <= max_level do
+      let level = !l in
+      let nx = 1 lsl level and ny = 1 lsl level in
+      let anchor_w = config.Config.anchor_base *. (config.Config.anchor_growth ** float_of_int level) in
+      (* QP anchored to the previous level's realization *)
+      let _, qp_time =
+        Fbp_util.Timer.time (fun () ->
+            if level > 1 then
+              ignore
+                (Qp.solve_global config nl pos ~anchor:(fun c ->
+                     Some (anchor_w, !anchor_pos.Placement.x.(c), anchor_w,
+                           !anchor_pos.Placement.y.(c)))))
+      in
+      (* Flow capacities carry a legalizability margin (integral rounding can
+         overfill a piece by up to one cell; rows lose slivers).  If the
+         margin makes a movebound class infeasible, retry without it. *)
+      let build_and_solve capacity_factor capacity_slack =
+        let grid =
+          Grid.create ~usable ~capacity_factor ~capacity_slack
+            ~chip:design.Design.chip ~nx ~ny ~regions ~density ()
+        in
+        let model = Fbp_model.build inst regions grid pos in
+        (grid, model, Fbp_model.solve model)
+      in
+      (* half a typical movable cell of headroom per piece against integral
+         rounding overfill *)
+      let slack =
+        let acc = ref 0.0 and n = ref 0 in
+        for c = 0 to Netlist.n_cells nl - 1 do
+          if not nl.Netlist.fixed.(c) then begin
+            acc := !acc +. Netlist.size nl c;
+            incr n
+          end
+        done;
+        if !n = 0 then 0.0 else 0.5 *. !acc /. float_of_int !n
+      in
+      let (grid, model, sol), flow_time =
+        Fbp_util.Timer.time (fun () ->
+            if not !margin_ok then build_and_solve 1.0 0.0
+            else
+              match build_and_solve config.Config.capacity_margin slack with
+              | (_, _, { Fbp_model.verdict = Fbp_flow.Mcf.Infeasible _; _ })
+                when config.Config.capacity_margin < 1.0 || slack > 0.0 ->
+                (* margins make this instance infeasible: drop them for the
+                   remaining levels too (avoids re-solving twice each level) *)
+                margin_ok := false;
+                build_and_solve 1.0 0.0
+              | ok -> ok)
+      in
+      (match sol.Fbp_model.verdict with
+       | Fbp_flow.Mcf.Infeasible { unrouted } ->
+         error :=
+           Some
+             (Printf.sprintf
+                "no fractional placement with movebounds exists at level %d (unrouted %.1f; Theorem 3)"
+                level unrouted)
+       | Fbp_flow.Mcf.Feasible _ ->
+         let r, realization_time =
+           Fbp_util.Timer.time (fun () ->
+               Realization.realize config inst regions sol pos ~cell_nets)
+         in
+         piece_of_cell := r.Realization.piece_of_cell;
+         final_grid := Some grid;
+         anchor_pos := Placement.copy pos;
+         let hpwl = Hpwl.total nl pos in
+         let rep =
+           {
+             level;
+             nx;
+             ny;
+             n_windows = Grid.n_windows grid;
+             n_pieces = Grid.n_pieces grid;
+             flow_nodes = model.Fbp_model.n_nodes;
+             flow_edges = model.Fbp_model.n_edges;
+             qp_time;
+             flow_time;
+             realization_time;
+             hpwl;
+             realization = r.Realization.stats;
+           }
+         in
+         levels := rep :: !levels;
+         log_verbose config "[fbp] level %d: %dx%d windows, %d pieces, hpwl %.3e\n"
+           level nx ny (Grid.n_pieces grid) hpwl;
+         (match on_level with Some f -> f rep | None -> ()));
+      incr l
+    done;
+    (match !error with
+     | Some e -> Error e
+     | None ->
+       Ok
+         {
+           placement = pos;
+           piece_of_cell = !piece_of_cell;
+           regions;
+           final_grid = !final_grid;
+           levels = List.rev !levels;
+           total_time = Fbp_util.Timer.now () -. t_start;
+           hpwl = Hpwl.total nl pos;
+         })

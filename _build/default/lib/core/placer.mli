@@ -1,0 +1,39 @@
+(** The BonnPlace-FBP global placement driver: multilevel QP → flow-based
+    partitioning → realization, with Table I instrumentation per level. *)
+
+type level_report = {
+  level : int;
+  nx : int;
+  ny : int;
+  n_windows : int;  (** Table I's |W| *)
+  n_pieces : int;  (** Table I's |R| *)
+  flow_nodes : int;  (** |V| *)
+  flow_edges : int;  (** |E| *)
+  qp_time : float;
+  flow_time : float;  (** model build + MinCostFlow *)
+  realization_time : float;
+  hpwl : float;
+  realization : Realization.stats;
+}
+
+type report = {
+  placement : Fbp_netlist.Placement.t;
+  piece_of_cell : int array;  (** final-level region-piece assignment *)
+  regions : Fbp_movebound.Regions.t;
+  final_grid : Grid.t option;
+  levels : level_report list;
+  total_time : float;
+  hpwl : float;
+}
+
+(** Planned number of refinement levels for a design under a config. *)
+val n_levels : Config.t -> Fbp_netlist.Design.t -> int
+
+(** Global placement.  Returns [Error] when movebound normalization fails
+    or the flow model certifies infeasibility (Theorem 3).  The result
+    still needs legalization ({!Fbp_legalize.Legalizer.run}). *)
+val place :
+  ?config:Config.t ->
+  ?on_level:(level_report -> unit) ->
+  Fbp_movebound.Instance.t ->
+  (report, string) result

@@ -1,0 +1,80 @@
+(* Quadratic placement solves.
+
+   [solve_global] relaxes all movable cells at once (the QP step between
+   partitioning rounds); [solve_local] relaxes only a given cell subset with
+   everything else fixed — the local connectivity step of the realization
+   (Section IV-B, "a local QP (considering all cells outside W as fixed)
+   will be computed first to obtain more connectivity information"). *)
+
+open Fbp_netlist
+
+type stats = {
+  vars : int;
+  cg_iterations : int;
+  residual : float;
+}
+
+let solve_system (cfg : Config.t) (sys : Netmodel.system) (pos : Placement.t) =
+  let nv = sys.Netmodel.n_vars in
+  let x = Array.make nv 0.0 and y = Array.make nv 0.0 in
+  (* warm start from current positions; star vars start at the mean of their
+     net, approximated by 0 + regularizer pull (harmless) *)
+  for v = 0 to nv - 1 do
+    let c = sys.Netmodel.cells.(v) in
+    if c >= 0 then begin
+      x.(v) <- pos.Placement.x.(c);
+      y.(v) <- pos.Placement.y.(c)
+    end
+  done;
+  let sx = Fbp_linalg.Cg.solve ~max_iter:cfg.Config.cg_max_iter ~tol:cfg.Config.cg_tol
+      sys.Netmodel.ax sys.Netmodel.bx x in
+  let sy = Fbp_linalg.Cg.solve ~max_iter:cfg.Config.cg_max_iter ~tol:cfg.Config.cg_tol
+      sys.Netmodel.ay sys.Netmodel.by y in
+  for v = 0 to nv - 1 do
+    let c = sys.Netmodel.cells.(v) in
+    if c >= 0 then begin
+      pos.Placement.x.(c) <- x.(v);
+      pos.Placement.y.(c) <- y.(v)
+    end
+  done;
+  {
+    vars = nv;
+    cg_iterations = sx.Fbp_linalg.Cg.iterations + sy.Fbp_linalg.Cg.iterations;
+    residual = Float.max sx.Fbp_linalg.Cg.residual sy.Fbp_linalg.Cg.residual;
+  }
+
+let all_movable (nl : Netlist.t) =
+  let out = ref [] in
+  for c = Netlist.n_cells nl - 1 downto 0 do
+    if not nl.Netlist.fixed.(c) then out := c :: !out
+  done;
+  Array.of_list !out
+
+(* Global QP over every movable cell. *)
+let solve_global (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t) ~anchor =
+  let movable = all_movable nl in
+  let sys =
+    Netmodel.assemble nl pos ~movable ~clique_max_degree:cfg.Config.clique_max_degree
+      ~anchor ()
+  in
+  solve_system cfg sys pos
+
+(* Local QP over [cells] only; [cell_nets] is the cached incidence map.
+   Only nets touching a movable cell are assembled. *)
+let solve_local (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t)
+    ~(cell_nets : int list array) ~(cells : int array) ~anchor =
+  if Array.length cells = 0 then { vars = 0; cg_iterations = 0; residual = 0.0 }
+  else begin
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun c ->
+        List.iter (fun ni -> if not (Hashtbl.mem seen ni) then Hashtbl.add seen ni ()) cell_nets.(c))
+      cells;
+    let nets = Array.of_seq (Hashtbl.to_seq_keys seen) in
+    Array.sort compare nets;  (* determinism *)
+    let sys =
+      Netmodel.assemble nl pos ~movable:cells ~nets
+        ~clique_max_degree:cfg.Config.clique_max_degree ~anchor ()
+    in
+    solve_system cfg sys pos
+  end

@@ -1,0 +1,28 @@
+(** Quadratic placement solves (global and local, Section IV-B). *)
+
+open Fbp_netlist
+
+type stats = {
+  vars : int;
+  cg_iterations : int;
+  residual : float;
+}
+
+(** Solve an assembled system, writing cell positions back into the
+    placement (star variables are discarded). *)
+val solve_system : Config.t -> Netmodel.system -> Placement.t -> stats
+
+(** All movable cell ids of a netlist. *)
+val all_movable : Netlist.t -> int array
+
+(** Global QP over every movable cell. *)
+val solve_global :
+  Config.t -> Netlist.t -> Placement.t ->
+  anchor:(int -> (float * float * float * float) option) -> stats
+
+(** Local QP over [cells] only, everything else fixed; [cell_nets] is the
+    cached incidence map from {!Netlist.cell_nets}. *)
+val solve_local :
+  Config.t -> Netlist.t -> Placement.t ->
+  cell_nets:int list array -> cells:int array ->
+  anchor:(int -> (float * float * float * float) option) -> stats

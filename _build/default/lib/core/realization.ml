@@ -1,0 +1,409 @@
+(* Realization of a flow solution (Section IV-B).
+
+   The MinCostFlow prescribes aggregate movements; the realization decides
+   *which* concrete cells follow them.  Flow-carrying external arcs form a
+   DAG over (window, class) nodes after zero-cycle cancellation; processing
+   nodes in topological order guarantees that when (w, M) is handled, every
+   cell that the flow routes into w has already arrived (buffered at w's
+   transit side).  For each node we:
+
+   1. solve a local QP over the node's cells (everything else fixed) for
+      connectivity information;
+   2. run the movebound-aware transportation: sinks are the window's region
+      pieces with their flow allotments for this class, plus one temporary
+      region per outgoing external arc located at the window boundary with
+      capacity equal to the arc's flow — exactly the transit-node buffer
+      capacities of Eq. (2);
+   3. round the fractional assignment; shipped cells move just across the
+      boundary and join the target window's buffer, staying cells project
+      into their assigned piece.
+
+   Nodes of one topological wave are independent (their cell sets are
+   disjoint and arrivals only materialize at the wave commit), so waves run
+   in parallel over domains with a deterministic commit order — the paper's
+   deterministic parallel realization. *)
+
+open Fbp_geometry
+open Fbp_netlist
+open Fbp_flow
+
+type step = {
+  node_w : int;
+  node_m : int;
+  n_cells : int;
+  shipped : float;  (* area sent over external arcs *)
+  stayed : float;
+}
+
+type stats = {
+  n_steps : int;
+  n_waves : int;
+  n_shipped_cells : int;
+  n_fallback_cells : int;  (* cells placed without a flow prescription *)
+  max_piece_overfill : float;  (* worst piece load minus allotted capacity *)
+}
+
+type result = {
+  piece_of_cell : int array;  (* cell -> piece id (-1 for fixed cells) *)
+  stats : stats;
+}
+
+let eps = 1e-7
+
+(* A destination decided for one cell during a step. *)
+type dest =
+  | To_piece of int
+  | To_buffer of { to_w : int; x : float; y : float }
+
+let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
+    (inst : Fbp_movebound.Instance.t) (regions : Fbp_movebound.Regions.t)
+    (sol : Fbp_model.solution) (pos : Placement.t)
+    ~(cell_nets : int list array) =
+  let model = sol.Fbp_model.model in
+  let grid = model.Fbp_model.grid in
+  let nl = inst.Fbp_movebound.Instance.design.Design.netlist in
+  let k = Fbp_movebound.Instance.n_movebounds inst in
+  let n_classes = model.Fbp_model.n_classes in
+  let piece_of_cell = Array.make (Netlist.n_cells nl) (-1) in
+  (* current members of each (window, class) node *)
+  let members : (int * int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (g : Fbp_model.group) ->
+      Hashtbl.replace members (g.Fbp_model.w, g.Fbp_model.m) (ref g.Fbp_model.cells))
+    model.Fbp_model.groups;
+  (* outgoing external arcs per node, incoming degree per node *)
+  let outgoing : (int * int, Fbp_model.external_flow list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let indegree : (int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let touch tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r
+    | None ->
+      let r = ref v in
+      Hashtbl.add tbl key r;
+      r
+  in
+  List.iter
+    (fun (e : Fbp_model.external_flow) ->
+      let o = touch outgoing (e.Fbp_model.from_w, e.Fbp_model.xm) [] in
+      o := e :: !o;
+      incr (touch indegree (e.Fbp_model.to_w, e.Fbp_model.xm) 0);
+      ignore (touch indegree (e.Fbp_model.from_w, e.Fbp_model.xm) 0))
+    sol.Fbp_model.externals;
+  (* node set: anything with cells or participating in external flow *)
+  let nodes : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter (fun key _ -> Hashtbl.replace nodes key ()) members;
+  Hashtbl.iter (fun key _ -> Hashtbl.replace nodes key ()) indegree;
+  let node_list =
+    Hashtbl.fold (fun key () acc -> key :: acc) nodes []
+    |> List.sort compare
+  in
+  let indeg (w, m) = match Hashtbl.find_opt indegree (w, m) with Some r -> !r | None -> 0 in
+  (* Kahn waves *)
+  let waves = ref [] in
+  let remaining = Hashtbl.copy nodes in
+  let degree = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace degree n (indeg n)) node_list;
+  let n_waves = ref 0 in
+  while Hashtbl.length remaining > 0 do
+    let ready =
+      List.filter
+        (fun n -> Hashtbl.mem remaining n && Hashtbl.find degree n = 0)
+        node_list
+    in
+    if ready = [] then begin
+      (* should not happen after cycle cancellation; break ties by releasing
+         the smallest node to avoid deadlock on numerical residue *)
+      let n = List.find (Hashtbl.mem remaining) node_list in
+      Hashtbl.replace degree n 0;
+      ignore n
+    end
+    else begin
+      incr n_waves;
+      waves := ready :: !waves;
+      List.iter
+        (fun n ->
+          Hashtbl.remove remaining n;
+          match Hashtbl.find_opt outgoing n with
+          | None -> ()
+          | Some arcs ->
+            List.iter
+              (fun (e : Fbp_model.external_flow) ->
+                let succ = (e.Fbp_model.to_w, e.Fbp_model.xm) in
+                match Hashtbl.find_opt degree succ with
+                | Some d -> Hashtbl.replace degree succ (d - 1)
+                | None -> ())
+              !arcs)
+        ready
+    end
+  done;
+  let waves = List.rev !waves in
+  (* statistics *)
+  let n_steps = ref 0 and n_shipped = ref 0 and n_fallback = ref 0 in
+  let max_overfill = ref 0.0 in
+  (* fallback piece: nearest admissible piece in/near the window *)
+  let fallback_piece w m (pt : Point.t) =
+    let mb = if m = k then -1 else m in
+    let best = ref (-1) and bestd = ref infinity in
+    let consider pid =
+      let p = grid.Grid.pieces.(pid) in
+      let reg = regions.Fbp_movebound.Regions.regions.(p.Grid.region) in
+      if Fbp_movebound.Regions.admissible reg ~mb then begin
+        let d = Rect_set.dist_l1_point p.Grid.area pt in
+        if d < !bestd then begin
+          bestd := d;
+          best := pid
+        end
+      end
+    in
+    List.iter consider grid.Grid.pieces_of_window.(w);
+    if !best < 0 then
+      (* widen to the whole grid (rare: window fully inadmissible) *)
+      Array.iter (fun (p : Grid.piece) -> consider p.Grid.id) grid.Grid.pieces;
+    !best
+  in
+  (* process one node against a read-only snapshot; returns the moves *)
+  let process_node snapshot ((w, m) : int * int) =
+    let cells =
+      match Hashtbl.find_opt members (w, m) with
+      | Some r -> List.sort_uniq compare !r
+      | None -> []
+    in
+    if cells = [] then ((w, m), [||])
+    else begin
+      let cells = Array.of_list cells in
+      (* 1. local QP for connectivity (optional) *)
+      let qx = Array.map (fun c -> snapshot.Placement.x.(c)) cells in
+      let qy = Array.map (fun c -> snapshot.Placement.y.(c)) cells in
+      if cfg.Config.local_qp && Array.length cells > 1 then begin
+        let seen = Hashtbl.create 64 in
+        Array.iter
+          (fun c ->
+            List.iter
+              (fun ni -> if not (Hashtbl.mem seen ni) then Hashtbl.add seen ni ())
+              cell_nets.(c))
+          cells;
+        let nets = Array.of_seq (Hashtbl.to_seq_keys seen) in
+        Array.sort compare nets;
+        let win_rect = grid.Grid.windows.(w).Grid.rect in
+        let ctr = Rect.center win_rect in
+        let sys =
+          Netmodel.assemble nl snapshot ~movable:cells ~nets
+            ~clique_max_degree:cfg.Config.clique_max_degree
+            ~anchor:(fun _ -> Some (1e-4, ctr.Point.x, 1e-4, ctr.Point.y))
+            ()
+        in
+        let xv = Array.make sys.Netmodel.n_vars 0.0 in
+        let yv = Array.make sys.Netmodel.n_vars 0.0 in
+        Array.iteri
+          (fun v c ->
+            if c >= 0 then begin
+              xv.(v) <- snapshot.Placement.x.(c);
+              yv.(v) <- snapshot.Placement.y.(c)
+            end)
+          sys.Netmodel.cells;
+        ignore (Fbp_linalg.Cg.solve ~max_iter:60 ~tol:1e-4 sys.Netmodel.ax sys.Netmodel.bx xv);
+        ignore (Fbp_linalg.Cg.solve ~max_iter:60 ~tol:1e-4 sys.Netmodel.ay sys.Netmodel.by yv);
+        Array.iteri
+          (fun i _ ->
+            qx.(i) <- xv.(i);
+            qy.(i) <- yv.(i))
+          cells
+      end;
+      (* 2. transportation sinks: region pieces + outgoing transit buffers *)
+      let piece_sinks =
+        List.filter_map
+          (fun pid ->
+            let a = sol.Fbp_model.allot.((pid * n_classes) + m) in
+            if a > eps then Some (`Piece pid, a) else None)
+          grid.Grid.pieces_of_window.(w)
+      in
+      let transit_sinks =
+        match Hashtbl.find_opt outgoing (w, m) with
+        | None -> []
+        | Some arcs ->
+          List.map
+            (fun (e : Fbp_model.external_flow) ->
+              (`Transit e, e.Fbp_model.amount))
+            !arcs
+      in
+      let sinks = Array.of_list (piece_sinks @ transit_sinks) in
+      let total_size =
+        Array.fold_left (fun acc c -> acc +. Netlist.size nl c) 0.0 cells
+      in
+      let total_cap = Array.fold_left (fun acc (_, c) -> acc +. c) 0.0 sinks in
+      if Array.length sinks = 0 then begin
+        (* no prescription (numerical residue): everything falls back *)
+        ((w, m),
+         Array.mapi
+           (fun i c ->
+             let pt = Point.make qx.(i) qy.(i) in
+             (c, qx.(i), qy.(i), To_piece (fallback_piece w m pt), true))
+           cells)
+      end
+      else begin
+        (* integral rounding can make cells outgrow the prescriptions:
+           inflate sink capacities proportionally so transport stays
+           feasible; legalization absorbs the slack *)
+        let scale = if total_cap < total_size then total_size /. total_cap +. 1e-6 else 1.0 in
+        let sink_caps = Array.map (fun (_, c) -> c *. scale) sinks in
+        let sink_cost i j =
+          let pt = Point.make qx.(i) qy.(i) in
+          match fst sinks.(j) with
+          | `Piece pid -> Rect_set.dist_l1_point grid.Grid.pieces.(pid).Grid.area pt
+          | `Transit (e : Fbp_model.external_flow) ->
+            Point.dist_l1 pt (Grid.boundary_point grid w e.Fbp_model.from_dir)
+        in
+        let problem =
+          {
+            Transport.sizes = Array.map (fun c -> Netlist.size nl c) cells;
+            capacities = sink_caps;
+            cost = sink_cost;
+          }
+        in
+        match Transport.solve problem with
+        | Error _ ->
+          ((w, m),
+           Array.mapi
+             (fun i c ->
+               let pt = Point.make qx.(i) qy.(i) in
+               (c, qx.(i), qy.(i), To_piece (fallback_piece w m pt), true))
+             cells)
+        | Ok assignment ->
+          let choice = Transport.round_integral assignment in
+          (* Cells staying in a piece are not merely projected (that piles
+             them on the nearest boundary): each piece-group's QP positions
+             are linearly remapped into the piece's bounding box, preserving
+             relative order — then projected into the (possibly non-convex)
+             piece area. *)
+          let remap = Hashtbl.create 8 in
+          Array.iteri
+            (fun i _ ->
+              let j = choice.(i) in
+              if j >= 0 then
+                match fst sinks.(j) with
+                | `Piece pid ->
+                  Hashtbl.replace remap pid (i :: (try Hashtbl.find remap pid with Not_found -> []))
+                | `Transit _ -> ())
+            cells;
+          let remap_fn = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun pid idxs ->
+              let p = grid.Grid.pieces.(pid) in
+              let bb = Rect_set.bbox p.Grid.area in
+              let x0 = ref infinity and x1 = ref neg_infinity in
+              let y0 = ref infinity and y1 = ref neg_infinity in
+              List.iter
+                (fun i ->
+                  if qx.(i) < !x0 then x0 := qx.(i);
+                  if qx.(i) > !x1 then x1 := qx.(i);
+                  if qy.(i) < !y0 then y0 := qy.(i);
+                  if qy.(i) > !y1 then y1 := qy.(i))
+                idxs;
+              let sx = !x1 -. !x0 and sy = !y1 -. !y0 in
+              let f (pt : Point.t) =
+                let fx = if sx > 1e-9 then (pt.Point.x -. !x0) /. sx else 0.5 in
+                let fy = if sy > 1e-9 then (pt.Point.y -. !y0) /. sy else 0.5 in
+                Point.make
+                  (bb.Rect.x0 +. (fx *. Rect.width bb))
+                  (bb.Rect.y0 +. (fy *. Rect.height bb))
+              in
+              Hashtbl.replace remap_fn pid f)
+            remap;
+          ((w, m),
+           Array.mapi
+             (fun i c ->
+               let j = choice.(i) in
+               if j < 0 then begin
+                 let pt = Point.make qx.(i) qy.(i) in
+                 (c, qx.(i), qy.(i), To_piece (fallback_piece w m pt), true)
+               end
+               else
+                 match fst sinks.(j) with
+                 | `Piece pid ->
+                   let p = grid.Grid.pieces.(pid) in
+                   let mapped = (Hashtbl.find remap_fn pid) (Point.make qx.(i) qy.(i)) in
+                   let proj = Rect_set.project_point p.Grid.area mapped in
+                   (c, proj.Point.x, proj.Point.y, To_piece pid, false)
+                 | `Transit (e : Fbp_model.external_flow) ->
+                   (* land just inside the target window, near the boundary *)
+                   let b = Grid.boundary_point grid w e.Fbp_model.from_dir in
+                   let tr = grid.Grid.windows.(e.Fbp_model.to_w).Grid.rect in
+                   let step_x = 0.05 *. Rect.width tr and step_y = 0.05 *. Rect.height tr in
+                   let land_ =
+                     match e.Fbp_model.from_dir with
+                     | 0 -> Point.make b.Point.x (b.Point.y +. step_y)
+                     | 1 -> Point.make (b.Point.x +. step_x) b.Point.y
+                     | 2 -> Point.make b.Point.x (b.Point.y -. step_y)
+                     | _ -> Point.make (b.Point.x -. step_x) b.Point.y
+                   in
+                   let land_ = Rect.clamp_point tr land_ in
+                   (c, land_.Point.x, land_.Point.y,
+                    To_buffer { to_w = e.Fbp_model.to_w; x = land_.Point.x; y = land_.Point.y },
+                    false))
+             cells)
+      end
+    end
+  in
+  (* piece loads for the overfill audit *)
+  let piece_load = Array.make (Grid.n_pieces grid) 0.0 in
+  List.iter
+    (fun wave ->
+      let wave_arr = Array.of_list wave in
+      let snapshot = Placement.copy pos in
+      let results =
+        Fbp_util.Parallel.map_array ~domains:cfg.Config.domains
+          (process_node snapshot) wave_arr
+      in
+      (* deterministic commit in wave order *)
+      Array.iter
+        (fun ((w, m), moves) ->
+          if Array.length moves > 0 then begin
+            incr n_steps;
+            let shipped = ref 0.0 and stayed = ref 0.0 in
+            Array.iter
+              (fun (c, x, y, dest, fallback) ->
+                pos.Placement.x.(c) <- x;
+                pos.Placement.y.(c) <- y;
+                if fallback then incr n_fallback;
+                match dest with
+                | To_piece pid ->
+                  piece_of_cell.(c) <- pid;
+                  piece_load.(pid) <- piece_load.(pid) +. Netlist.size nl c;
+                  stayed := !stayed +. Netlist.size nl c
+                | To_buffer { to_w; x = bx; y = by } ->
+                  incr n_shipped;
+                  shipped := !shipped +. Netlist.size nl c;
+                  pos.Placement.x.(c) <- bx;
+                  pos.Placement.y.(c) <- by;
+                  let r = touch members (to_w, m) [] in
+                  r := c :: !r)
+              moves;
+            (* this node's members are consumed *)
+            Hashtbl.replace members (w, m) (ref []);
+            match on_step with
+            | Some f ->
+              f { node_w = w; node_m = m; n_cells = Array.length moves;
+                  shipped = !shipped; stayed = !stayed }
+            | None -> ()
+          end)
+        results)
+    waves;
+  (* overfill audit: compare piece loads against capacities *)
+  Array.iter
+    (fun (p : Grid.piece) ->
+      let over = piece_load.(p.Grid.id) -. p.Grid.capacity in
+      if over > !max_overfill then max_overfill := over)
+    grid.Grid.pieces;
+  {
+    piece_of_cell;
+    stats =
+      {
+        n_steps = !n_steps;
+        n_waves = !n_waves;
+        n_shipped_cells = !n_shipped;
+        n_fallback_cells = !n_fallback;
+        max_piece_overfill = !max_overfill;
+      };
+  }

@@ -1,0 +1,1 @@
+lib/flow/mcf.ml: Array Fbp_util Float Graph

@@ -1,0 +1,1 @@
+lib/flow/transport.ml: Array Fbp_util Float Graph List Mcf Printf

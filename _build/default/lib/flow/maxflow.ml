@@ -1,0 +1,78 @@
+(* Maximum flow by Dinic's algorithm.
+
+   Used for the movebound feasibility checks of Theorems 1 and 2: the
+   bipartite cluster network (movebounds -> regions) is tiny, but the solver
+   is written for general networks so property tests can cross-check it
+   against brute-force min cuts on random graphs. *)
+
+let eps = 1e-9
+
+type result = {
+  value : float;
+  (* Nodes reachable from the source in the final residual network: the
+     source side of a minimum cut (by max-flow/min-cut duality). *)
+  min_cut : bool array;
+}
+
+let bfs g s level =
+  Array.fill level 0 (Array.length level) (-1);
+  level.(s) <- 0;
+  let q = Queue.create () in
+  Queue.push s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_out g u (fun a ->
+        let v = Graph.dst g a in
+        if level.(v) < 0 && Graph.capacity g a > eps then begin
+          level.(v) <- level.(u) + 1;
+          Queue.push v q
+        end)
+  done
+
+(* DFS blocking flow with per-node arc iterators (standard Dinic detail: a
+   node's exhausted arcs are skipped on re-entry). *)
+let rec dfs g level iter t u pushed =
+  if u = t then pushed
+  else begin
+    let result = ref 0.0 in
+    (try
+       while !result <= eps do
+         match iter.(u) with
+         | [] -> raise Exit
+         | a :: rest ->
+           let v = Graph.dst g a in
+           if level.(v) = level.(u) + 1 && Graph.capacity g a > eps then begin
+             let d = dfs g level iter t v (Float.min pushed (Graph.capacity g a)) in
+             if d > eps then begin
+               Graph.push g a d;
+               result := d
+             end
+             else iter.(u) <- rest
+           end
+           else iter.(u) <- rest
+       done
+     with Exit -> ());
+    !result
+  end
+
+let solve g ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.solve: source = sink";
+  let n = Graph.n_nodes g in
+  let level = Array.make n (-1) in
+  let value = ref 0.0 in
+  let continue_ = ref true in
+  while !continue_ do
+    bfs g source level;
+    if level.(sink) < 0 then continue_ := false
+    else begin
+      let iter = Array.init n (fun u -> Graph.fold_out g u (fun acc a -> a :: acc) []) in
+      let pushed = ref (dfs g level iter sink source infinity) in
+      while !pushed > eps do
+        value := !value +. !pushed;
+        pushed := dfs g level iter sink source infinity
+      done
+    end
+  done;
+  (* Final BFS labels give the min-cut source side. *)
+  bfs g source level;
+  { value = !value; min_cut = Array.map (fun l -> l >= 0) level }

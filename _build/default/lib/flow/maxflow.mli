@@ -1,0 +1,14 @@
+(** Maximum flow (Dinic).
+
+    Backs the movebound feasibility checks of Theorems 1–2. The graph is
+    mutated: after [solve] it holds a maximum flow (readable per-arc through
+    {!Graph.flow}). *)
+
+type result = {
+  value : float;  (** value of the maximum flow *)
+  min_cut : bool array;
+      (** [min_cut.(v)] iff [v] is on the source side of a minimum cut *)
+}
+
+(** Raises [Invalid_argument] if [source = sink]. *)
+val solve : Graph.t -> source:int -> sink:int -> result

@@ -1,0 +1,149 @@
+(* Minimum-cost flow by successive shortest paths with Johnson potentials.
+
+   This is the solver behind the global FBP model of Section IV-A.  The
+   paper used a (sequential) network simplex; any exact solver produces a
+   min-cost b-flow with the same cost, and at FBP instance sizes (|V|, |E|
+   linear in the number of windows — Table I) successive shortest paths with
+   a Dijkstra core is fast and much simpler.  The substitution is recorded in
+   DESIGN.md.
+
+   Input arc costs must be non-negative (true for the FBP model: L1 distances
+   and zero-cost external arcs); residual twins get negative costs but the
+   potential invariant keeps all reduced costs non-negative, so Dijkstra
+   remains valid throughout. *)
+
+let eps = 1e-7
+
+type result =
+  | Feasible of { cost : float }
+  | Infeasible of { unrouted : float }
+      (** Total supply that cannot reach any deficit node.  By Theorem 3 this
+          certifies that no (fractional) placement with movebounds exists. *)
+
+let solve g ~supply =
+  let n = Graph.n_nodes g in
+  if Array.length supply <> n then invalid_arg "Mcf.solve: supply length";
+  Graph.iter_edges g (fun a ->
+      if Graph.cost g a < 0.0 then
+        invalid_arg "Mcf.solve: negative arc cost");
+  let excess = Array.copy supply in
+  let pi = Array.make n 0.0 in
+  let dist = Array.make n infinity in
+  let parent_arc = Array.make n (-1) in
+  let visited = Array.make n false in
+  let pq : int Fbp_util.Pq.t = Fbp_util.Pq.create () in
+  let total_cost = ref 0.0 in
+  let unrouted = ref 0.0 in
+  (* Each round runs a *multi-source* Dijkstra from all excess nodes at once:
+     starting at a single source would let arcs out of other (unreached)
+     supply nodes violate the non-negative-reduced-cost invariant. *)
+  let remaining_excess () =
+    Array.fold_left (fun acc e -> if e > eps then acc +. e else acc) 0.0 excess
+  in
+  let continue_ = ref (remaining_excess () > eps) in
+  while !continue_ do
+    Array.fill dist 0 n infinity;
+    Array.fill visited 0 n false;
+    Fbp_util.Pq.clear pq;
+    for v = 0 to n - 1 do
+      if excess.(v) > eps then begin
+        dist.(v) <- 0.0;
+        parent_arc.(v) <- -1;
+        Fbp_util.Pq.push pq 0.0 v
+      end
+    done;
+    let target = ref (-1) in
+    (try
+       let rec scan () =
+         match Fbp_util.Pq.pop pq with
+         | None -> ()
+         | Some (_, u) ->
+           if not visited.(u) then begin
+             visited.(u) <- true;
+             if excess.(u) < -.eps then begin
+               target := u;
+               raise Exit
+             end;
+             Graph.iter_out g u (fun a ->
+                 if Graph.capacity g a > eps then begin
+                   let v = Graph.dst g a in
+                   if not visited.(v) then begin
+                     let rc = Graph.cost g a +. pi.(u) -. pi.(v) in
+                     let nd = dist.(u) +. (if rc < 0.0 then 0.0 else rc) in
+                     if nd < dist.(v) -. 1e-12 then begin
+                       dist.(v) <- nd;
+                       parent_arc.(v) <- a;
+                       Fbp_util.Pq.push pq nd v
+                     end
+                   end
+                 end)
+           end;
+           scan ()
+       in
+       scan ()
+     with Exit -> ());
+    if !target < 0 then begin
+      (* No deficit reachable from any excess node: the rest is unroutable. *)
+      unrouted := !unrouted +. remaining_excess ();
+      continue_ := false
+    end
+    else begin
+      let t = !target in
+      let dt = dist.(t) in
+      (* Potential update keeps reduced costs non-negative.  Nodes that were
+         not labeled before the early exit (dist = infinity, min picks [dt])
+         must also be lifted by [dt]: otherwise an arc from such a node into
+         a labeled one can acquire negative reduced cost and poison a later
+         Dijkstra round. *)
+      for v = 0 to n - 1 do
+        pi.(v) <- pi.(v) +. Float.min dist.(v) dt
+      done;
+      (* Walk back to the originating excess node, collecting the bottleneck. *)
+      let delta = ref (-.excess.(t)) in
+      let v = ref t in
+      while parent_arc.(!v) >= 0 do
+        let a = parent_arc.(!v) in
+        delta := Float.min !delta (Graph.capacity g a);
+        v := Graph.src g a
+      done;
+      let s = !v in
+      let d = Float.min !delta excess.(s) in
+      let v = ref t in
+      while parent_arc.(!v) >= 0 do
+        let a = parent_arc.(!v) in
+        Graph.push g a d;
+        total_cost := !total_cost +. (d *. Graph.cost g a);
+        v := Graph.src g a
+      done;
+      excess.(s) <- excess.(s) -. d;
+      excess.(t) <- excess.(t) +. d;
+      if remaining_excess () <= eps then continue_ := false
+    end
+  done;
+  if !unrouted > eps then Infeasible { unrouted = !unrouted }
+  else Feasible { cost = !total_cost }
+
+(* Optimality audit used by property tests: a flow is min-cost iff the
+   residual network contains no arc with negative reduced cost under some
+   potential; we verify with Bellman-Ford that the residual network has no
+   negative cycle. Returns [true] when optimal. *)
+let check_optimal g =
+  let n = Graph.n_nodes g in
+  let dist = Array.make n 0.0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    for u = 0 to n - 1 do
+      Graph.iter_out g u (fun a ->
+          if Graph.capacity g a > eps then begin
+            let v = Graph.dst g a in
+            if dist.(u) +. Graph.cost g a < dist.(v) -. 1e-6 then begin
+              dist.(v) <- dist.(u) +. Graph.cost g a;
+              changed := true
+            end
+          end)
+    done
+  done;
+  not !changed

@@ -1,0 +1,22 @@
+(** Minimum-cost b-flow by successive shortest paths with potentials.
+
+    The exact solver behind the FBP model (Section IV-A); replaces the
+    paper's network simplex (see DESIGN.md substitution table). Arc costs
+    must be non-negative. After a call the graph holds the computed flow
+    (read per-arc with {!Graph.flow}). *)
+
+type result =
+  | Feasible of { cost : float }
+  | Infeasible of { unrouted : float }
+      (** Total supply that cannot reach any deficit — by Theorem 3 a
+          certificate that no fractional placement with movebounds exists. *)
+
+(** [solve g ~supply] computes a min-cost flow satisfying node balances:
+    [supply.(v) > 0] is supply, [< 0] demand. Total supply may be less than
+    total demand (demands are upper bounds). Raises [Invalid_argument] on a
+    length mismatch or negative arc cost. *)
+val solve : Graph.t -> supply:float array -> result
+
+(** Audit: does the residual network contain no negative cycle (i.e. is the
+    current flow of minimum cost)? Used by property tests. *)
+val check_optimal : Graph.t -> bool

@@ -1,0 +1,47 @@
+(** Unbalanced Hitchcock transportation: n cells to k << n sinks.
+
+    The local partitioning engine of Sections III and IV-B, following the
+    structure of Brenner's algorithm [4]: greedy initial assignment, then
+    overload routed along shortest paths in the sink graph whose arcs carry
+    per-unit relocation deltas maintained in lazily-invalidated heaps.
+    Fractional moves make the result respect capacities exactly whenever a
+    fractional solution exists; most cells remain unsplit ("almost
+    integral"). *)
+
+type problem = {
+  sizes : float array;  (** cell sizes (mass) *)
+  capacities : float array;  (** sink capacities *)
+  cost : int -> int -> float;
+      (** per-unit movement cost; [infinity] marks an inadmissible pair
+          (movebound of the cell does not cover the sink) *)
+}
+
+type assignment = {
+  frac : (int * float) list array;
+      (** cell → [(sink, fraction)]; fractions sum to 1 per cell *)
+  load : float array;  (** resulting mass per sink *)
+  cost : float;  (** mass-weighted total cost *)
+  converged : bool;  (** [false] if the iteration guard tripped *)
+}
+
+(** Heuristic solver; [Error] when some cell has no admissible sink.
+    [max_steps] caps rebalancing augmentations (default scales with n, k). *)
+val solve : ?max_steps:int -> problem -> (assignment, string) result
+
+(** Exact reference via min-cost flow with one node per cell — O(n·k) arcs,
+    only for small instances (tests, ablations). *)
+val solve_exact : problem -> (assignment, string) result
+
+(** Each split cell goes to its largest-fraction sink; sinks can exceed
+    capacity by strictly less than one cell. Entry is [-1] only for cells
+    with an empty fraction list (cannot happen on solver output). *)
+val round_integral : assignment -> int array
+
+(** Mass-weighted cost of an arbitrary fractional assignment. *)
+val total_cost : problem -> (int * float) list array -> float
+
+(** Worst per-sink load excess over capacity (0 or less means feasible). *)
+val max_overflow : problem -> assignment -> float
+
+(** Number of cells split across more than one sink. *)
+val n_fractional : assignment -> int

@@ -1,0 +1,1 @@
+lib/geometry/rect_set.ml: Float Format List Point Rect

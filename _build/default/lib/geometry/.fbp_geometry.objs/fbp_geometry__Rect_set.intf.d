@@ -1,0 +1,1 @@
+lib/geometry/rect_set.mli: Format Point Rect

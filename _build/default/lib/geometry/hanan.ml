@@ -1,0 +1,102 @@
+(* Hanan grids (Lemma 1 of the paper).
+
+   Given the rectangles encoding all movebound areas, the Hanan grid induced
+   by their x- and y-coordinates decomposes the chip area into O(l^2) cells,
+   each of which lies entirely inside or entirely outside every movebound
+   rectangle.  Those cells are the starting point of the region decomposition
+   (Definition 2): adjacent cells of equal coverage signature are merged into
+   maximal regions elsewhere. *)
+
+type t = {
+  xs : float array;  (* sorted, deduplicated x-coordinates, >= 2 entries *)
+  ys : float array;
+  nx : int;          (* number of columns = |xs| - 1 *)
+  ny : int;
+}
+
+let dedup_sorted eps a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = ref [ a.(0) ] in
+    for i = 1 to n - 1 do
+      match !out with
+      | last :: _ when a.(i) -. last > eps -> out := a.(i) :: !out
+      | _ -> ()
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+(* Build the grid over [chip] from the coordinates of [rects], clipping all
+   coordinates into the chip area. *)
+let create ?(eps = 1e-9) ~(chip : Rect.t) rects =
+  let clip_x x = Float.max chip.Rect.x0 (Float.min chip.Rect.x1 x) in
+  let clip_y y = Float.max chip.Rect.y0 (Float.min chip.Rect.y1 y) in
+  let xs = ref [ chip.Rect.x0; chip.Rect.x1 ] in
+  let ys = ref [ chip.Rect.y0; chip.Rect.y1 ] in
+  List.iter
+    (fun (r : Rect.t) ->
+      xs := clip_x r.Rect.x0 :: clip_x r.Rect.x1 :: !xs;
+      ys := clip_y r.Rect.y0 :: clip_y r.Rect.y1 :: !ys)
+    rects;
+  let xs = Array.of_list !xs and ys = Array.of_list !ys in
+  Array.sort compare xs;
+  Array.sort compare ys;
+  let xs = dedup_sorted eps xs and ys = dedup_sorted eps ys in
+  if Array.length xs < 2 || Array.length ys < 2 then
+    invalid_arg "Hanan.create: degenerate chip area";
+  { xs; ys; nx = Array.length xs - 1; ny = Array.length ys - 1 }
+
+let n_cells t = t.nx * t.ny
+
+let cell_index t ~ix ~iy =
+  if ix < 0 || ix >= t.nx || iy < 0 || iy >= t.ny then
+    invalid_arg "Hanan.cell_index: out of bounds";
+  (iy * t.nx) + ix
+
+let cell_coords t idx =
+  if idx < 0 || idx >= n_cells t then invalid_arg "Hanan.cell_coords";
+  (idx mod t.nx, idx / t.nx)
+
+let cell_rect t ~ix ~iy =
+  Rect.make ~x0:t.xs.(ix) ~y0:t.ys.(iy) ~x1:t.xs.(ix + 1) ~y1:t.ys.(iy + 1)
+
+let iter_cells t f =
+  for iy = 0 to t.ny - 1 do
+    for ix = 0 to t.nx - 1 do
+      f ~ix ~iy (cell_rect t ~ix ~iy)
+    done
+  done
+
+(* 4-neighbourhood of a cell, as cell indices. *)
+let neighbors t ~ix ~iy =
+  let out = ref [] in
+  if ix > 0 then out := cell_index t ~ix:(ix - 1) ~iy :: !out;
+  if ix < t.nx - 1 then out := cell_index t ~ix:(ix + 1) ~iy :: !out;
+  if iy > 0 then out := cell_index t ~ix ~iy:(iy - 1) :: !out;
+  if iy < t.ny - 1 then out := cell_index t ~ix ~iy:(iy + 1) :: !out;
+  !out
+
+let nx t = t.nx
+let ny t = t.ny
+
+let xs t = Array.copy t.xs
+let ys t = Array.copy t.ys
+
+(* Column index of the cell containing x (clamped to the grid). *)
+let locate sorted v =
+  let n = Array.length sorted in
+  if v <= sorted.(0) then 0
+  else if v >= sorted.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: sorted.(lo) <= v < sorted.(hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v < sorted.(mid) then hi := mid else lo := mid
+    done;
+    !lo
+  end
+
+let cell_at t (x : float) (y : float) =
+  (locate t.xs x, locate t.ys y)

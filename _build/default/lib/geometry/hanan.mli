@@ -1,0 +1,38 @@
+(** Hanan grid decomposition (Lemma 1 of the paper).
+
+    The grid induced by the coordinates of the movebound rectangles
+    decomposes the chip into O(l²) cells, each entirely inside or outside
+    every input rectangle — the seed of the region decomposition. *)
+
+type t
+
+(** [create ~chip rects] builds the grid over the chip area from the
+    coordinates of [rects] (clipped to the chip).
+    Raises [Invalid_argument] on a degenerate chip. *)
+val create : ?eps:float -> chip:Rect.t -> Rect.t list -> t
+
+val n_cells : t -> int
+val nx : t -> int
+val ny : t -> int
+
+(** Dense index of cell (ix, iy); raises on out-of-bounds. *)
+val cell_index : t -> ix:int -> iy:int -> int
+
+(** Inverse of [cell_index]. *)
+val cell_coords : t -> int -> int * int
+
+val cell_rect : t -> ix:int -> iy:int -> Rect.t
+
+(** Iterate over all cells in row-major order. *)
+val iter_cells : t -> (ix:int -> iy:int -> Rect.t -> unit) -> unit
+
+(** Dense indices of the 4-neighbours of a cell. *)
+val neighbors : t -> ix:int -> iy:int -> int list
+
+(** Copies of the grid coordinates (length nx+1 / ny+1). *)
+val xs : t -> float array
+
+val ys : t -> float array
+
+(** Cell (ix, iy) containing the point, clamped to the grid. *)
+val cell_at : t -> float -> float -> int * int

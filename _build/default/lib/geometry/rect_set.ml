@@ -1,0 +1,133 @@
+(* Finite unions of axis-parallel rectangles, kept pairwise disjoint.
+
+   Movebound areas (Definition 1) and regions (Definition 2) are "finite sets
+   of axis-parallel rectangles"; this module provides the boolean algebra the
+   paper needs: area/capacity measurement, containment tests for the
+   "M covers r" relation, subtraction for blockages and exclusive movebounds,
+   and projection of points into the set (used when repositioning cells into
+   their assigned region). *)
+
+type t = Rect.t list (* invariant: pairwise non-overlapping, none empty *)
+
+let empty = []
+
+let is_empty t = t = []
+
+let rects t = t
+
+let of_rect r = if Rect.is_empty r then [] else [ r ]
+
+(* Add one rectangle, keeping disjointness by inserting only the parts of [r]
+   not already covered. *)
+let add t r =
+  let pieces =
+    List.fold_left
+      (fun pieces existing ->
+        List.concat_map (fun p -> Rect.subtract p existing) pieces)
+      [ r ] t
+  in
+  List.filter (fun p -> not (Rect.is_empty p)) pieces @ t
+
+let of_rects rs = List.fold_left add empty rs
+
+(* Unchecked constructor for rectangles the caller guarantees disjoint
+   (e.g. Hanan cells); skips the quadratic disjointness insertion. *)
+let of_disjoint rs = List.filter (fun r -> not (Rect.is_empty r)) rs
+
+let union a b = List.fold_left add a b
+
+let area t = List.fold_left (fun acc r -> acc +. Rect.area r) 0.0 t
+
+(* Subtract a single rectangle from the whole set. *)
+let subtract_rect t r =
+  List.concat_map (fun p -> Rect.subtract p r) t
+  |> List.filter (fun p -> not (Rect.is_empty p))
+
+let subtract a b = List.fold_left subtract_rect a b
+
+(* Clip the set to a rectangle. *)
+let intersect_rect t r =
+  List.filter_map (fun p -> Rect.intersect p r) t
+
+let intersect a b = List.concat_map (fun r -> intersect_rect a r) b
+
+(* [covers_rect t r]: is [r] entirely inside the union?  Implemented by
+   subtraction: the remainder must have zero area.  This realizes the paper's
+   legality test "A_(x,y)(c) ⊂ ∪ A(μ(c))". *)
+let covers_rect t r =
+  if Rect.is_empty r then true
+  else begin
+    let remainder =
+      List.fold_left
+        (fun pieces cover ->
+          List.concat_map (fun p -> Rect.subtract p cover) pieces)
+        [ r ] t
+    in
+    List.for_all Rect.is_empty remainder
+  end
+
+(* [covers t s]: is the set [s] entirely inside the union [t]?  This is the
+   "M covers r" relation of Definition 2. *)
+let covers t s = List.for_all (covers_rect t) s
+
+let contains_point t p = List.exists (fun r -> Rect.contains_point r p) t
+
+let overlaps_rect t r = List.exists (fun p -> Rect.overlaps p r) t
+
+(* Overlap of two sets (positive area). *)
+let overlaps a b = List.exists (overlaps_rect a) b
+
+let overlap_area a b =
+  List.fold_left
+    (fun acc ra ->
+      List.fold_left (fun acc rb -> acc +. Rect.intersection_area ra rb) acc b)
+    0.0 a
+
+(* Nearest point of the set to [p] in L2; raises on empty set. *)
+let project_point t p =
+  match t with
+  | [] -> invalid_arg "Rect_set.project_point: empty set"
+  | first :: rest ->
+    let best = Rect.clamp_point first p in
+    let bestd = Point.dist_l2 p best in
+    let q, _ =
+      List.fold_left
+        (fun ((_, bd) as acc) r ->
+          let c = Rect.clamp_point r p in
+          let d = Point.dist_l2 p c in
+          if d < bd then (c, d) else acc)
+        (best, bestd) rest
+    in
+    q
+
+let dist_l1_point t p =
+  match t with
+  | [] -> infinity
+  | _ ->
+    List.fold_left (fun acc r -> Float.min acc (Rect.dist_l1_point r p)) infinity t
+
+(* Area-weighted center of gravity; the embedding point of region nodes in
+   the flow model ("center-of-gravity of the free area"). *)
+let center_of_gravity t =
+  let a = area t in
+  if a <= 0.0 then invalid_arg "Rect_set.center_of_gravity: empty set";
+  let cx, cy =
+    List.fold_left
+      (fun (cx, cy) r ->
+        let w = Rect.area r in
+        let c = Rect.center r in
+        (cx +. (w *. c.Point.x), cy +. (w *. c.Point.y)))
+      (0.0, 0.0) t
+  in
+  Point.make (cx /. a) (cy /. a)
+
+(* Bounding box of the set; raises on empty. *)
+let bbox t =
+  match t with
+  | [] -> invalid_arg "Rect_set.bbox: empty set"
+  | first :: rest -> List.fold_left Rect.bbox first rest
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") Rect.pp)
+    t

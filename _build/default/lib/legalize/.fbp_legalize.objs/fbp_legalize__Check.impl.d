@@ -1,0 +1,1 @@
+lib/legalize/check.ml: Array Design Fbp_geometry Fbp_netlist Float Hashtbl List Netlist Placement Rect

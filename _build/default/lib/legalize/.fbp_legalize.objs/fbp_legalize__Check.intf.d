@@ -1,0 +1,1 @@
+lib/legalize/check.mli: Design Fbp_netlist Placement

@@ -1,0 +1,1 @@
+lib/legalize/flow_legalizer.ml: Array Design Fbp_flow Fbp_movebound Fbp_netlist Fbp_util Float List Netlist Placement Rows

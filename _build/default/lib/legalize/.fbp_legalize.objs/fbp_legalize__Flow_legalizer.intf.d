@@ -1,0 +1,1 @@
+lib/legalize/flow_legalizer.mli: Fbp_movebound Fbp_netlist

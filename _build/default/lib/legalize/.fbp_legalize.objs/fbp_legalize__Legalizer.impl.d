@@ -1,0 +1,1 @@
+lib/legalize/legalizer.ml: Array Design Fbp_core Fbp_geometry Fbp_movebound Fbp_netlist Fbp_util Float List Netlist Placement Printf Rows Sys

@@ -1,0 +1,1 @@
+lib/legalize/legalizer.mli: Fbp_core Fbp_movebound Fbp_netlist Placement

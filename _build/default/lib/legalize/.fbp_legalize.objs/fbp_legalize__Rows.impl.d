@@ -1,0 +1,1 @@
+lib/legalize/rows.ml: Fbp_geometry Float List Rect Rect_set

@@ -1,0 +1,1 @@
+lib/legalize/rows.mli: Fbp_geometry Rect Rect_set

@@ -1,0 +1,72 @@
+(* Placement legality audits: row alignment, overlap-freeness, chip and
+   blockage containment.  Together with Fbp_movebound.Legality this decides
+   whether a final placement counts as "legal" in the tables. *)
+
+open Fbp_geometry
+open Fbp_netlist
+
+type report = {
+  n_overlaps : int;
+  n_off_row : int;
+  n_outside_chip : int;
+  n_on_blockage : int;
+  legal : bool;
+}
+
+let audit (design : Design.t) (pos : Placement.t) =
+  let nl = design.Design.netlist in
+  let chip = design.Design.chip in
+  let rh = design.Design.row_height in
+  let movable = ref [] in
+  for c = Netlist.n_cells nl - 1 downto 0 do
+    if not nl.Netlist.fixed.(c) then movable := c :: !movable
+  done;
+  let movable = !movable in
+  let n_off_row = ref 0 and n_outside = ref 0 and n_blocked = ref 0 in
+  List.iter
+    (fun c ->
+      let r = Placement.cell_rect nl pos c in
+      if not (Rect.contains chip r) then incr n_outside;
+      (* row alignment: bottom edge on a row boundary *)
+      let rel = (r.Rect.y0 -. chip.Rect.y0) /. rh in
+      if Float.abs (rel -. Float.round rel) > 1e-6 then incr n_off_row;
+      if List.exists (fun b -> Rect.overlaps b r) design.Design.blockages then
+        incr n_blocked)
+    movable;
+  (* overlaps: bucket by row index, sweep by x *)
+  let by_row = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let r = Placement.cell_rect nl pos c in
+      let row = int_of_float (Float.round ((r.Rect.y0 -. chip.Rect.y0) /. rh)) in
+      Hashtbl.replace by_row row
+        (c :: (try Hashtbl.find by_row row with Not_found -> [])))
+    movable;
+  let n_overlaps = ref 0 in
+  Hashtbl.iter
+    (fun _ cells ->
+      (* sweep by left edge, tracking the furthest right edge seen: catches
+         overlaps even across non-adjacent cells of different widths *)
+      let sorted =
+        List.sort
+          (fun a b ->
+            compare
+              (Placement.cell_rect nl pos a).Rect.x0
+              (Placement.cell_rect nl pos b).Rect.x0)
+          cells
+      in
+      let reach = ref neg_infinity in
+      List.iter
+        (fun c ->
+          let r = Placement.cell_rect nl pos c in
+          if r.Rect.x0 < !reach -. 1e-9 then incr n_overlaps;
+          if r.Rect.x1 > !reach then reach := r.Rect.x1)
+        sorted)
+    by_row;
+  {
+    n_overlaps = !n_overlaps;
+    n_off_row = !n_off_row;
+    n_outside_chip = !n_outside;
+    n_on_blockage = !n_blocked;
+    legal = !n_overlaps = 0 && !n_off_row = 0 && !n_outside = 0 && !n_blocked = 0;
+  }

@@ -1,0 +1,15 @@
+(** Placement legality audits: overlaps, row alignment, chip and blockage
+    containment.  Together with {!Fbp_movebound.Legality} this decides the
+    tables' "legal" column. *)
+
+open Fbp_netlist
+
+type report = {
+  n_overlaps : int;
+  n_off_row : int;
+  n_outside_chip : int;
+  n_on_blockage : int;
+  legal : bool;
+}
+
+val audit : Design.t -> Placement.t -> report

@@ -1,0 +1,20 @@
+(** Flow-based legalization after Brenner–Vygen [6] — the legalizer the
+    paper calls: per region, a Hitchcock transportation moves cell area to
+    row segments with minimum total movement, then each segment packs
+    optimally in x-order (Abacus clusters).  Slower than the default
+    Tetris/interval legalizer, lower displacement on dense regions; both
+    are exposed so the trade-off is measurable. *)
+
+type stats = {
+  n_legalized : int;
+  n_failed : int;
+  avg_displacement : float;
+  max_displacement : float;
+  time : float;
+}
+
+(** Legalize in place (cells grouped by the region containing their
+    position). *)
+val run :
+  Fbp_movebound.Instance.t -> Fbp_movebound.Regions.t -> Fbp_netlist.Placement.t ->
+  stats

@@ -1,0 +1,28 @@
+(** Movebound-aware legalization (Section III): per-region Tetris/Abacus
+    with interval packing on a site lattice, spill into admissible regions,
+    compaction and cross-class eviction for stragglers. *)
+
+open Fbp_netlist
+
+type stats = {
+  n_legalized : int;
+  n_spilled : int;  (** placed outside their assigned region (still legal) *)
+  n_failed : int;  (** cells with no admissible space anywhere *)
+  avg_displacement : float;
+  max_displacement : float;
+  time : float;
+}
+
+(** Legalize in place.  Cells are grouped by the global region of their
+    assigned piece (the paper's ρ : C → R); cells without a piece fall back
+    to the region containing their position.  [movebound_aware:false] lets
+    spills land in any region (the RQL baseline's behaviour — violations
+    then possible and counted upstream). *)
+val run :
+  ?movebound_aware:bool ->
+  Fbp_movebound.Instance.t ->
+  Fbp_movebound.Regions.t ->
+  Placement.t ->
+  piece_of_cell:int array ->
+  grid:Fbp_core.Grid.t option ->
+  stats

@@ -1,0 +1,69 @@
+(* Row segments: the free intervals of standard-cell rows available inside a
+   rectangle set (a region, or the whole chip), after subtracting blockages.
+
+   Movable cells are one row tall (the generator and the industrial designs
+   the paper uses are standard-cell designs; taller movable macros are fixed
+   before legalization).  A segment belongs to a region only where the
+   region covers the row's full height — a cell must be *entirely* inside
+   its movebound. *)
+
+open Fbp_geometry
+
+type segment = {
+  row : int;  (* row index from the chip bottom *)
+  y : float;  (* row center y *)
+  x0 : float;
+  x1 : float;
+  region : int;  (* owning region id (or -1 when built region-free) *)
+}
+
+let width s = s.x1 -. s.x0
+
+(* Segments of [area] clipped to rows, minus blockages. *)
+let build ~(chip : Rect.t) ~row_height ~(blockages : Rect.t list) ?(region = -1)
+    (area : Rect_set.t) =
+  let n_rows = int_of_float (Float.round (Rect.height chip /. row_height)) in
+  let segments = ref [] in
+  for row = 0 to n_rows - 1 do
+    let ry0 = chip.Rect.y0 +. (float_of_int row *. row_height) in
+    let ry1 = ry0 +. row_height in
+    let y = (ry0 +. ry1) /. 2.0 in
+    List.iter
+      (fun (r : Rect.t) ->
+        (* full row height must be covered *)
+        if r.Rect.y0 <= ry0 +. 1e-9 && r.Rect.y1 >= ry1 -. 1e-9 then begin
+          (* subtract blockages overlapping this row span *)
+          let strip = Rect.make ~x0:r.Rect.x0 ~y0:ry0 ~x1:r.Rect.x1 ~y1:ry1 in
+          let free =
+            List.fold_left
+              (fun pieces b ->
+                List.concat_map (fun piece -> Rect.subtract piece b) pieces)
+              [ strip ] blockages
+          in
+          List.iter
+            (fun (f : Rect.t) ->
+              (* keep only full-height remnants (horizontal cuts by a
+                 blockage leave unusable slivers) *)
+              if f.Rect.y0 <= ry0 +. 1e-9 && f.Rect.y1 >= ry1 -. 1e-9
+                 && Rect.width f > 1e-9 then
+                segments :=
+                  { row; y; x0 = f.Rect.x0; x1 = f.Rect.x1; region } :: !segments)
+            free
+        end)
+      (Rect_set.rects area)
+  done;
+  (* deterministic order: bottom-to-top, left-to-right *)
+  let sorted = List.sort (fun a b -> compare (a.row, a.x0) (b.row, b.x0)) !segments in
+  (* merge touching same-row segments: region areas arrive as unions of
+     Hanan-grid strips, and without merging a contiguous row would be
+     chopped into fragments no wide cell can use *)
+  let rec merge = function
+    | a :: b :: rest when a.row = b.row && b.x0 -. a.x1 <= 1e-6 ->
+      merge ({ a with x1 = Float.max a.x1 b.x1 } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let total_width segments =
+  List.fold_left (fun acc s -> acc +. width s) 0.0 segments

@@ -1,0 +1,24 @@
+(** Row segments: free intervals of standard-cell rows inside a rectangle
+    set, after subtracting blockages.  A segment exists only where the
+    region covers the row's full height (cells must be entirely inside
+    their movebound). *)
+
+open Fbp_geometry
+
+type segment = {
+  row : int;  (** row index from the chip bottom *)
+  y : float;  (** row center y *)
+  x0 : float;
+  x1 : float;
+  region : int;  (** owning region id, -1 when built region-free *)
+}
+
+val width : segment -> float
+
+(** Segments of [area] clipped to rows, minus blockages; sorted
+    bottom-to-top, left-to-right. *)
+val build :
+  chip:Rect.t -> row_height:float -> blockages:Rect.t list -> ?region:int ->
+  Rect_set.t -> segment list
+
+val total_width : segment list -> float

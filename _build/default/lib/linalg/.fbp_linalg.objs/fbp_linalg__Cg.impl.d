@@ -1,0 +1,1 @@
+lib/linalg/cg.ml: Array Csr Float Vec

@@ -1,0 +1,62 @@
+(* Jacobi-preconditioned conjugate gradients for the symmetric
+   positive-definite systems produced by the quadratic net models.
+
+   The QP matrices are Laplacians plus positive diagonal (fixed pins and
+   anchors), hence SPD whenever every connected component touches something
+   fixed — which the placer guarantees by always adding at least a weak
+   anchor per movable cell. *)
+
+type stats = {
+  iterations : int;
+  residual : float;  (* final ||Ax - b|| / max(1, ||b||) *)
+  converged : bool;
+}
+
+let solve ?(max_iter = 0) ?(tol = 1e-7) (a : Csr.t) (b : float array) (x : float array) =
+  let n = Csr.dim a in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Cg.solve: dimension mismatch";
+  let max_iter = if max_iter > 0 then max_iter else max 100 (2 * n) in
+  let inv_diag =
+    Array.map (fun d -> if Float.abs d > 1e-30 then 1.0 /. d else 1.0) (Csr.diagonal a)
+  in
+  let r = Vec.create n and z = Vec.create n and p = Vec.create n and ap = Vec.create n in
+  (* r = b - A x *)
+  Csr.mul a x ap;
+  Vec.sub b ap r;
+  let bnorm = Float.max 1.0 (Vec.norm2 b) in
+  let apply_precond () =
+    for i = 0 to n - 1 do
+      z.(i) <- inv_diag.(i) *. r.(i)
+    done
+  in
+  apply_precond ();
+  Array.blit z 0 p 0 n;
+  let rz = ref (Vec.dot r z) in
+  let iter = ref 0 in
+  let finished = ref (Vec.norm2 r /. bnorm <= tol) in
+  while (not !finished) && !iter < max_iter do
+    incr iter;
+    Csr.mul a p ap;
+    let pap = Vec.dot p ap in
+    if pap <= 0.0 then
+      (* matrix not SPD along p (numerical breakdown): stop with current x *)
+      finished := true
+    else begin
+      let alpha = !rz /. pap in
+      Vec.axpy ~alpha p x;
+      Vec.axpy ~alpha:(-.alpha) ap r;
+      if Vec.norm2 r /. bnorm <= tol then finished := true
+      else begin
+        apply_precond ();
+        let rz' = Vec.dot r z in
+        let beta = rz' /. !rz in
+        rz := rz';
+        for i = 0 to n - 1 do
+          p.(i) <- z.(i) +. (beta *. p.(i))
+        done
+      end
+    end
+  done;
+  let residual = Vec.norm2 r /. bnorm in
+  { iterations = !iter; residual; converged = residual <= tol *. 10.0 }

@@ -1,0 +1,12 @@
+(** Jacobi-preconditioned conjugate gradients for SPD systems. *)
+
+type stats = {
+  iterations : int;
+  residual : float;  (** final ||Ax − b|| / max(1, ||b||) *)
+  converged : bool;
+}
+
+(** [solve a b x] improves [x] in place toward A x = b.
+    [max_iter] defaults to max(100, 2n); [tol] to 1e-7.
+    Raises [Invalid_argument] on dimension mismatch. *)
+val solve : ?max_iter:int -> ?tol:float -> Csr.t -> float array -> float array -> stats

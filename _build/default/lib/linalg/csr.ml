@@ -1,0 +1,142 @@
+(* Compressed-sparse-row matrices, assembled from (row, col, value) triplets.
+
+   The QP net models (clique/star) generate Laplacian-plus-diagonal systems;
+   assembly accumulates duplicate triplets, then freezes into CSR for the
+   matrix-vector products inside conjugate gradients. *)
+
+type t = {
+  n : int;                 (* square dimension *)
+  row_start : int array;   (* length n+1 *)
+  col : int array;
+  value : float array;
+}
+
+type builder = {
+  dim : int;
+  mutable rows : int list;  (* triplets, reversed *)
+  mutable cols : int list;
+  mutable vals : float list;
+  mutable count : int;
+}
+
+let builder n = { dim = n; rows = []; cols = []; vals = []; count = 0 }
+
+let add b ~row ~col v =
+  if row < 0 || row >= b.dim || col < 0 || col >= b.dim then
+    invalid_arg "Csr.add: index out of range";
+  if v <> 0.0 then begin
+    b.rows <- row :: b.rows;
+    b.cols <- col :: b.cols;
+    b.vals <- v :: b.vals;
+    b.count <- b.count + 1
+  end
+
+(* Symmetric convenience: adds the four entries of a spring between i and j
+   with stiffness w (Laplacian stencil). *)
+let add_spring b i j w =
+  add b ~row:i ~col:i w;
+  add b ~row:j ~col:j w;
+  add b ~row:i ~col:j (-.w);
+  add b ~row:j ~col:i (-.w)
+
+(* Diagonal-only convenience (anchors / fixed-pin stiffness). *)
+let add_diag b i w = add b ~row:i ~col:i w
+
+let freeze b =
+  let n = b.dim in
+  let m = b.count in
+  let rows = Array.make m 0 and cols = Array.make m 0 and vals = Array.make m 0.0 in
+  let rec fill i rl cl vl =
+    match (rl, cl, vl) with
+    | r :: rl, c :: cl, v :: vl ->
+      rows.(i) <- r;
+      cols.(i) <- c;
+      vals.(i) <- v;
+      fill (i - 1) rl cl vl
+    | [], [], [] -> ()
+    | _ -> assert false
+  in
+  fill (m - 1) b.rows b.cols b.vals;
+  (* Counting sort by row. *)
+  let count = Array.make (n + 1) 0 in
+  for k = 0 to m - 1 do
+    count.(rows.(k) + 1) <- count.(rows.(k) + 1) + 1
+  done;
+  for i = 1 to n do
+    count.(i) <- count.(i) + count.(i - 1)
+  done;
+  let order = Array.make m 0 in
+  let cursor = Array.copy count in
+  for k = 0 to m - 1 do
+    let r = rows.(k) in
+    order.(cursor.(r)) <- k;
+    cursor.(r) <- cursor.(r) + 1
+  done;
+  (* Within each row, accumulate duplicates via a per-row scratch map. *)
+  let row_start = Array.make (n + 1) 0 in
+  let col_acc = Array.make m 0 and val_acc = Array.make m 0.0 in
+  let nnz = ref 0 in
+  let scratch = Hashtbl.create 16 in
+  for r = 0 to n - 1 do
+    Hashtbl.reset scratch;
+    row_start.(r) <- !nnz;
+    for idx = count.(r) to count.(r + 1) - 1 do
+      let k = order.(idx) in
+      let c = cols.(k) in
+      match Hashtbl.find_opt scratch c with
+      | Some slot -> val_acc.(slot) <- val_acc.(slot) +. vals.(k)
+      | None ->
+        Hashtbl.add scratch c !nnz;
+        col_acc.(!nnz) <- c;
+        val_acc.(!nnz) <- vals.(k);
+        incr nnz
+    done
+  done;
+  row_start.(n) <- !nnz;
+  {
+    n;
+    row_start;
+    col = Array.sub col_acc 0 !nnz;
+    value = Array.sub val_acc 0 !nnz;
+  }
+
+let dim t = t.n
+let nnz t = t.row_start.(t.n)
+
+(* out <- A x *)
+let mul t x out =
+  if Array.length x <> t.n || Array.length out <> t.n then
+    invalid_arg "Csr.mul: dimension mismatch";
+  for r = 0 to t.n - 1 do
+    let acc = ref 0.0 in
+    for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
+      acc := !acc +. (t.value.(k) *. x.(t.col.(k)))
+    done;
+    out.(r) <- !acc
+  done
+
+let diagonal t =
+  let d = Array.make t.n 0.0 in
+  for r = 0 to t.n - 1 do
+    for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
+      if t.col.(k) = r then d.(r) <- d.(r) +. t.value.(k)
+    done
+  done;
+  d
+
+let get t r c =
+  let acc = ref 0.0 in
+  for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
+    if t.col.(k) = c then acc := !acc +. t.value.(k)
+  done;
+  !acc
+
+let is_symmetric ?(eps = 1e-9) t =
+  let ok = ref true in
+  for r = 0 to t.n - 1 do
+    for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
+      let c = t.col.(k) in
+      if Float.abs (t.value.(k) -. get t c r) > eps then ok := false
+    done
+  done;
+  !ok

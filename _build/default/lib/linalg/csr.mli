@@ -1,0 +1,33 @@
+(** Compressed-sparse-row matrices assembled from triplets (duplicates are
+    accumulated), for the QP's Laplacian-plus-diagonal systems. *)
+
+type t
+
+type builder
+
+(** [builder n] starts an empty n×n assembly. *)
+val builder : int -> builder
+
+(** Add a triplet; zero values are dropped. Raises on out-of-range. *)
+val add : builder -> row:int -> col:int -> float -> unit
+
+(** Laplacian stencil of a spring between [i] and [j] with stiffness [w]. *)
+val add_spring : builder -> int -> int -> float -> unit
+
+(** Add [w] to the diagonal entry [i] (anchors, fixed-pin stiffness). *)
+val add_diag : builder -> int -> float -> unit
+
+val freeze : builder -> t
+
+val dim : t -> int
+val nnz : t -> int
+
+(** [mul a x out]: out <- A x. Raises on dimension mismatch. *)
+val mul : t -> float array -> float array -> unit
+
+val diagonal : t -> float array
+
+(** Entry lookup (linear in the row's nnz); for tests. *)
+val get : t -> int -> int -> float
+
+val is_symmetric : ?eps:float -> t -> bool

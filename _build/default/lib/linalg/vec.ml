@@ -1,0 +1,41 @@
+(* Dense float vectors — the few BLAS-1 kernels conjugate gradients needs. *)
+
+type t = float array
+
+let create n = Array.make n 0.0
+
+let copy = Array.copy
+
+let dot a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Vec.dot: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a
+
+(* y <- y + alpha * x *)
+let axpy ~alpha x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Vec.axpy: length mismatch";
+  for i = 0 to n - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+(* x <- alpha * x *)
+let scale ~alpha x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+(* out <- a - b *)
+let sub a b out =
+  let n = Array.length a in
+  for i = 0 to n - 1 do
+    out.(i) <- a.(i) -. b.(i)
+  done

@@ -1,0 +1,21 @@
+(** Dense float vectors: the BLAS-1 kernels conjugate gradients needs. *)
+
+type t = float array
+
+val create : int -> t
+val copy : t -> t
+
+(** Raises [Invalid_argument] on length mismatch. *)
+val dot : t -> t -> float
+
+val norm2 : t -> float
+val norm_inf : t -> float
+
+(** [axpy ~alpha x y]: y <- y + alpha * x. *)
+val axpy : alpha:float -> t -> t -> unit
+
+(** [scale ~alpha x]: x <- alpha * x. *)
+val scale : alpha:float -> t -> unit
+
+(** [sub a b out]: out <- a - b. *)
+val sub : t -> t -> t -> unit

@@ -1,0 +1,1 @@
+lib/movebound/feasibility.ml: Array Fbp_flow Fbp_geometry Fbp_netlist Graph Instance List Maxflow Regions

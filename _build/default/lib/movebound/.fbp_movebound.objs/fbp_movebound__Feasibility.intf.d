@@ -1,0 +1,1 @@
+lib/movebound/feasibility.mli: Instance Regions

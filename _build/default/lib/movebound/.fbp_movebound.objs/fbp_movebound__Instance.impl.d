@@ -1,0 +1,1 @@
+lib/movebound/instance.ml: Array Fbp_geometry Fbp_netlist Movebound Printf Rect_set

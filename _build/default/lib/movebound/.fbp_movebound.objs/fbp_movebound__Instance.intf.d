@@ -1,0 +1,1 @@
+lib/movebound/instance.mli: Fbp_geometry Fbp_netlist Movebound Rect_set

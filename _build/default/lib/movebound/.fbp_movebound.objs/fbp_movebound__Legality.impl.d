@@ -1,0 +1,1 @@
+lib/movebound/legality.ml: Array Design Fbp_geometry Fbp_netlist Instance List Movebound Netlist Placement Printf Rect Rect_set

@@ -1,0 +1,1 @@
+lib/movebound/legality.mli: Fbp_netlist Instance Placement

@@ -1,0 +1,1 @@
+lib/movebound/movebound.ml: Fbp_geometry Format Rect_set

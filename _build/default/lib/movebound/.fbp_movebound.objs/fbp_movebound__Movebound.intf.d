@@ -1,0 +1,1 @@
+lib/movebound/movebound.mli: Fbp_geometry Format Rect Rect_set

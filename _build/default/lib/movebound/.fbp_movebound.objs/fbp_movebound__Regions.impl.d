@@ -1,0 +1,1 @@
+lib/movebound/regions.ml: Array Fbp_geometry Fbp_util Hanan List Movebound Point Rect Rect_set Union_find

@@ -1,0 +1,1 @@
+lib/movebound/regions.mli: Fbp_geometry Hanan Movebound Point Rect Rect_set

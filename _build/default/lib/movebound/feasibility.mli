@@ -1,0 +1,27 @@
+(** Feasibility of movebounded placement (Theorems 1–2): a clustered MaxFlow
+    decides in polynomial time whether a fractional placement exists; the
+    min cut witnesses the violated instance of inequality (1). *)
+
+type verdict =
+  | Feasible
+  | Infeasible of {
+      classes : int list;
+          (** movebound ids (index [n_movebounds] = unconstrained class) on
+              the source side of the min cut — a violating M′ of (1) *)
+      demand : float;  (** total cell size of those classes *)
+      capacity : float;  (** capacity of their admissible regions *)
+    }
+
+(** [check inst regions ~capacity_of] runs the clustered MaxFlow of
+    Theorem 2. [capacity_of] maps a region to its free capacity. *)
+val check :
+  Instance.t -> Regions.t -> capacity_of:(Regions.region -> float) -> verdict
+
+(** Region area times a uniform density target. *)
+val plain_capacity : density:float -> Regions.region -> float
+
+(** Normalize → decompose → check; returns the verdict and the regions. *)
+val check_instance :
+  ?capacity_of:(Regions.region -> float) option ->
+  Instance.t ->
+  (verdict * Regions.t, string) result

@@ -1,0 +1,68 @@
+(* Movebound legality audit: Definition 1's condition that every cell lie
+   entirely inside the area of its movebound, and outside every foreign
+   exclusive movebound.  This is the "viol." column of Tables IV and V. *)
+
+open Fbp_geometry
+open Fbp_netlist
+
+type violation = {
+  cell : int;
+  reason : string;
+}
+
+type report = {
+  violations : violation list;
+  n_violations : int;
+  checked : int;
+}
+
+let check (inst : Instance.t) (p : Placement.t) =
+  let nl = inst.Instance.design.Design.netlist in
+  let violations = ref [] in
+  let count = ref 0 in
+  let checked = ref 0 in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    if not nl.Netlist.fixed.(c) then begin
+      incr checked;
+      let r = Placement.cell_rect nl p c in
+      (* inside own movebound? *)
+      (match Instance.movebound_of_cell inst c with
+       | Some m ->
+         if not (Movebound.contains_rect m r) then begin
+           incr count;
+           violations :=
+             { cell = c;
+               reason = Printf.sprintf "outside own movebound %s" m.Movebound.name }
+             :: !violations
+         end
+       | None -> ());
+      (* overlapping a foreign exclusive movebound? *)
+      Array.iter
+        (fun (m : Movebound.t) ->
+          if Movebound.is_exclusive m
+             && nl.Netlist.movebound.(c) <> m.Movebound.id
+             && Rect_set.overlaps_rect m.Movebound.area r
+          then begin
+            incr count;
+            violations :=
+              { cell = c;
+                reason = Printf.sprintf "overlaps exclusive movebound %s" m.Movebound.name }
+              :: !violations
+          end)
+        inst.Instance.movebounds
+    end
+  done;
+  { violations = List.rev !violations; n_violations = !count; checked = !checked }
+
+let is_legal inst p = (check inst p).n_violations = 0
+
+(* Chip containment audit (cells entirely on the chip). *)
+let count_outside_chip (inst : Instance.t) (p : Placement.t) =
+  let d = inst.Instance.design in
+  let nl = d.Design.netlist in
+  let n = ref 0 in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    if not nl.Netlist.fixed.(c) then
+      if not (Rect.contains d.Design.chip (Placement.cell_rect nl p c)) then incr n
+  done;
+  !n

@@ -1,0 +1,17 @@
+(** Movebound legality audit — the "viol." column of Tables IV/V. *)
+
+open Fbp_netlist
+
+type violation = { cell : int; reason : string }
+
+type report = {
+  violations : violation list;
+  n_violations : int;  (** may exceed the cell count (multiple reasons) *)
+  checked : int;  (** number of movable cells audited *)
+}
+
+val check : Instance.t -> Placement.t -> report
+val is_legal : Instance.t -> Placement.t -> bool
+
+(** Movable cells not entirely inside the chip area. *)
+val count_outside_chip : Instance.t -> Placement.t -> int

@@ -1,0 +1,36 @@
+(* Movebounds (Definition 1 of the paper): a movebound M is a pair
+   (A(M), xi(M)) of a finite set of axis-parallel rectangles — possibly
+   non-convex, possibly overlapping other movebounds — and a flavour:
+
+   - inclusive: cells with mu(c) = M must be placed inside A(M); other cells
+     may still use the area;
+   - exclusive: additionally, A(M) is a blockage for every other cell. *)
+
+open Fbp_geometry
+
+type kind =
+  | Inclusive
+  | Exclusive
+
+type t = {
+  id : int;  (* dense index; equals the value stored in Netlist.movebound *)
+  name : string;
+  kind : kind;
+  area : Rect_set.t;
+}
+
+let make ~id ~name ~kind rects =
+  let area = Rect_set.of_rects rects in
+  if Rect_set.is_empty area then invalid_arg "Movebound.make: empty area";
+  { id; name; kind; area }
+
+let is_exclusive m = m.kind = Exclusive
+
+let kind_to_string = function Inclusive -> "inclusive" | Exclusive -> "exclusive"
+
+(* Does the movebound's area entirely contain the rectangle (i.e. is a cell
+   covering [r] legally inside M)? *)
+let contains_rect m r = Rect_set.covers_rect m.area r
+
+let pp fmt m =
+  Format.fprintf fmt "%s(%s):%a" m.name (kind_to_string m.kind) Rect_set.pp m.area

@@ -1,0 +1,25 @@
+(** Movebounds (Definition 1): a finite rectangle set plus a flavour. *)
+
+open Fbp_geometry
+
+type kind =
+  | Inclusive  (** cells of M must stay inside A(M) *)
+  | Exclusive  (** additionally, A(M) is a blockage for every other cell *)
+
+type t = {
+  id : int;  (** dense index; the value stored in [Netlist.movebound] *)
+  name : string;
+  kind : kind;
+  area : Rect_set.t;
+}
+
+(** Raises [Invalid_argument] if the union of [rects] is empty. *)
+val make : id:int -> name:string -> kind:kind -> Rect.t list -> t
+
+val is_exclusive : t -> bool
+val kind_to_string : kind -> string
+
+(** Is the rectangle entirely inside A(M)? *)
+val contains_rect : t -> Rect.t -> bool
+
+val pp : Format.formatter -> t -> unit

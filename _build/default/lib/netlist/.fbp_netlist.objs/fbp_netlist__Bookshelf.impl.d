@@ -1,0 +1,1 @@
+lib/netlist/bookshelf.ml: Array Design Fbp_geometry Filename Fun List Netlist Placement Printf Rect String

@@ -1,0 +1,1 @@
+lib/netlist/clustering.ml: Array Fbp_util Float Hashtbl List Netlist Placement Pq Union_find

@@ -1,0 +1,1 @@
+lib/netlist/clustering.mli: Netlist Placement

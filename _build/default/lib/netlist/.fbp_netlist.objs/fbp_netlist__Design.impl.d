@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Fbp_geometry Float List Netlist Placement Rect Rect_set

@@ -1,0 +1,1 @@
+lib/netlist/design.mli: Fbp_geometry Netlist Placement Rect

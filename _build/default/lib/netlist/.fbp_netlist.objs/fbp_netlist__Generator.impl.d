@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Design Fbp_geometry Fbp_util Float List Netlist Placement Point Printf Rect Rng

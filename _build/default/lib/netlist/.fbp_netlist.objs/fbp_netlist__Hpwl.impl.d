@@ -1,0 +1,1 @@
+lib/netlist/hpwl.ml: Array Netlist Placement

@@ -1,0 +1,1 @@
+lib/netlist/hpwl.mli: Netlist Placement

@@ -1,0 +1,1 @@
+lib/netlist/placement.ml: Array Fbp_geometry Float List Netlist Point Rect

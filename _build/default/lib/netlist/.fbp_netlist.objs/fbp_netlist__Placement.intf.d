@@ -1,0 +1,1 @@
+lib/netlist/placement.mli: Fbp_geometry Netlist Point Rect

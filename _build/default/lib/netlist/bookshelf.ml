@@ -1,0 +1,183 @@
+(* Plain-text interchange format for designs, loosely modelled on the
+   Bookshelf files of the ISPD contests but self-contained in one file.
+
+   Grammar (one record per line, '#' starts a comment):
+
+     chip <x0> <y0> <x1> <y1>
+     rowheight <h>
+     density <d>
+     cells <n>
+     cell <name> <w> <h> <x> <y> <movable|fixed> <mbid|->
+     nets <m>
+     net <weight> <npins>
+     pin <cellindex> <dx> <dy>        (cellindex -1 = pad, dx/dy absolute)
+     blockages <k>
+     blockage <x0> <y0> <x1> <y1>
+
+   The writer emits records in exactly this order; the reader accepts them in
+   any order as long as counts precede their items. *)
+
+open Fbp_geometry
+
+let write_channel oc (d : Design.t) =
+  let nl = d.netlist in
+  let p = d.initial in
+  Printf.fprintf oc "# fbp design: %s\n" d.Design.name;
+  Printf.fprintf oc "chip %.17g %.17g %.17g %.17g\n" d.chip.Rect.x0 d.chip.Rect.y0
+    d.chip.Rect.x1 d.chip.Rect.y1;
+  Printf.fprintf oc "rowheight %.17g\n" d.row_height;
+  Printf.fprintf oc "density %.17g\n" d.target_density;
+  Printf.fprintf oc "cells %d\n" nl.Netlist.n_cells;
+  for c = 0 to nl.Netlist.n_cells - 1 do
+    Printf.fprintf oc "cell %s %.17g %.17g %.17g %.17g %s %s\n" nl.Netlist.names.(c)
+      nl.Netlist.widths.(c) nl.Netlist.heights.(c) p.Placement.x.(c)
+      p.Placement.y.(c)
+      (if nl.Netlist.fixed.(c) then "fixed" else "movable")
+      (if nl.Netlist.movebound.(c) < 0 then "-" else string_of_int nl.Netlist.movebound.(c))
+  done;
+  Printf.fprintf oc "nets %d\n" (Array.length nl.Netlist.nets);
+  Array.iter
+    (fun (net : Netlist.net) ->
+      Printf.fprintf oc "net %.17g %d\n" net.Netlist.weight (Array.length net.Netlist.pins);
+      Array.iter
+        (fun (pin : Netlist.pin) ->
+          Printf.fprintf oc "pin %d %.17g %.17g\n" pin.Netlist.cell pin.Netlist.dx
+            pin.Netlist.dy)
+        net.Netlist.pins)
+    nl.Netlist.nets;
+  Printf.fprintf oc "blockages %d\n" (List.length d.blockages);
+  List.iter
+    (fun (b : Rect.t) ->
+      Printf.fprintf oc "blockage %.17g %.17g %.17g %.17g\n" b.Rect.x0 b.Rect.y0 b.Rect.x1
+        b.Rect.y1)
+    d.blockages
+
+let write_file path d =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc d)
+
+exception Parse_error of int * string
+
+let parse_failure line msg = raise (Parse_error (line, msg))
+
+let read_channel ?(name = "from-file") ic =
+  let chip = ref None in
+  let row_height = ref 1.0 in
+  let density = ref 1.0 in
+  let cells = ref [] and n_cells = ref 0 in
+  let nets = ref [] in
+  let blockages = ref [] in
+  let pending_pins = ref 0 in
+  let current_net = ref None in
+  let lineno = ref 0 in
+  let float_of s ln =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> parse_failure ln (Printf.sprintf "bad number %S" s)
+  in
+  let int_of s ln =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> parse_failure ln (Printf.sprintf "bad integer %S" s)
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let ln = !lineno in
+       let line =
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line
+       in
+       let tokens =
+         String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+       in
+       match tokens with
+       | [] -> ()
+       | "chip" :: [ a; b; c; d ] ->
+         chip := Some (Rect.make ~x0:(float_of a ln) ~y0:(float_of b ln)
+                         ~x1:(float_of c ln) ~y1:(float_of d ln))
+       | "rowheight" :: [ h ] -> row_height := float_of h ln
+       | "density" :: [ d ] -> density := float_of d ln
+       | "cells" :: [ n ] -> n_cells := int_of n ln
+       | "cell" :: [ nm; w; h; x; y; mv; mb ] ->
+         let movebound = if mb = "-" then -1 else int_of mb ln in
+         cells :=
+           (nm, float_of w ln, float_of h ln, float_of x ln, float_of y ln,
+            mv = "fixed", movebound)
+           :: !cells
+       | "nets" :: [ _ ] -> ()
+       | "net" :: [ w; np ] ->
+         (match !current_net with
+          | Some _ when !pending_pins > 0 -> parse_failure ln "previous net incomplete"
+          | _ -> ());
+         (match !current_net with
+          | Some (w', pins) ->
+            nets := { Netlist.weight = w'; pins = Array.of_list (List.rev pins) } :: !nets
+          | None -> ());
+         current_net := Some (float_of w ln, []);
+         pending_pins := int_of np ln
+       | "pin" :: [ c; dx; dy ] ->
+         (match !current_net with
+          | None -> parse_failure ln "pin outside net"
+          | Some (w, pins) ->
+            if !pending_pins <= 0 then parse_failure ln "too many pins for net";
+            current_net :=
+              Some (w, { Netlist.cell = int_of c ln; dx = float_of dx ln;
+                         dy = float_of dy ln } :: pins);
+            decr pending_pins)
+       | "blockages" :: [ _ ] -> ()
+       | "blockage" :: [ a; b; c; d ] ->
+         blockages :=
+           Rect.make ~x0:(float_of a ln) ~y0:(float_of b ln) ~x1:(float_of c ln)
+             ~y1:(float_of d ln)
+           :: !blockages
+       | tok :: _ -> parse_failure ln (Printf.sprintf "unknown record %S" tok)
+     done
+   with End_of_file -> ());
+  (match !current_net with
+   | Some (w, pins) ->
+     if !pending_pins > 0 then parse_failure !lineno "last net incomplete";
+     nets := { Netlist.weight = w; pins = Array.of_list (List.rev pins) } :: !nets
+   | None -> ());
+  let cells = Array.of_list (List.rev !cells) in
+  if Array.length cells <> !n_cells then
+    parse_failure !lineno
+      (Printf.sprintf "expected %d cells, got %d" !n_cells (Array.length cells));
+  let chip =
+    match !chip with Some c -> c | None -> parse_failure !lineno "missing chip record"
+  in
+  let n = Array.length cells in
+  let netlist =
+    {
+      Netlist.n_cells = n;
+      names = Array.map (fun (nm, _, _, _, _, _, _) -> nm) cells;
+      widths = Array.map (fun (_, w, _, _, _, _, _) -> w) cells;
+      heights = Array.map (fun (_, _, h, _, _, _, _) -> h) cells;
+      fixed = Array.map (fun (_, _, _, _, _, f, _) -> f) cells;
+      movebound = Array.map (fun (_, _, _, _, _, _, mb) -> mb) cells;
+      nets = Array.of_list (List.rev !nets);
+    }
+  in
+  let initial =
+    {
+      Placement.x = Array.map (fun (_, _, _, x, _, _, _) -> x) cells;
+      y = Array.map (fun (_, _, _, _, y, _, _) -> y) cells;
+    }
+  in
+  {
+    Design.name;
+    chip;
+    row_height = !row_height;
+    netlist;
+    blockages = List.rev !blockages;
+    initial;
+    target_density = !density;
+  }
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_channel ~name:(Filename.remove_extension (Filename.basename path)) ic)

@@ -1,0 +1,13 @@
+(** Plain-text design interchange, loosely Bookshelf-style (one file per
+    design; see the grammar in the implementation header). *)
+
+(** Raised by readers with the line number and a message. *)
+exception Parse_error of int * string
+
+val write_channel : out_channel -> Design.t -> unit
+val write_file : string -> Design.t -> unit
+
+(** Raises {!Parse_error} on malformed input. *)
+val read_channel : ?name:string -> in_channel -> Design.t
+
+val read_file : string -> Design.t

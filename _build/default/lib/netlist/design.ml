@@ -1,0 +1,47 @@
+(* A placement instance: netlist plus chip geometry.
+
+   [initial] plays two roles, matching the paper's setting: it is the
+   "golden" placement the synthetic generator derives net locality from, and
+   it is the starting point handed to the placers (FBP explicitly supports
+   starting from *any* given placement — Section IV). *)
+
+open Fbp_geometry
+
+type t = {
+  name : string;
+  chip : Rect.t;
+  row_height : float;
+  netlist : Netlist.t;
+  blockages : Rect.t list;  (* fixed-macro outlines and hard blockages *)
+  initial : Placement.t;
+  target_density : float;  (* max utilization placers may fill bins to *)
+}
+
+let n_rows d =
+  int_of_float (Float.round (Rect.height d.chip /. d.row_height))
+
+(* Free area of the chip under the target density — the capacity available
+   to movable cells ("capa" in the paper, for the whole chip). *)
+let capacity d =
+  let block_area =
+    Rect_set.area
+      (Rect_set.of_rects (List.filter_map (fun b -> Rect.intersect b d.chip) d.blockages))
+  in
+  (Rect.area d.chip -. block_area) *. d.target_density
+
+(* Whitespace ratio: capacity / movable area (>= 1 for feasible designs). *)
+let whitespace_ratio d =
+  let movable = Netlist.total_movable_area d.netlist in
+  if movable <= 0.0 then infinity else capacity d /. movable
+
+let validate d =
+  match Netlist.validate d.netlist with
+  | Error _ as e -> e
+  | Ok () ->
+    if Rect.is_empty d.chip then Error "empty chip area"
+    else if d.row_height <= 0.0 then Error "non-positive row height"
+    else if d.target_density <= 0.0 || d.target_density > 1.0 then
+      Error "target density must be in (0, 1]"
+    else if whitespace_ratio d < 1.0 then
+      Error "movable cell area exceeds chip capacity"
+    else Ok ()

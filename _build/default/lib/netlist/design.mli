@@ -1,0 +1,24 @@
+(** A placement instance: netlist plus chip geometry. *)
+
+open Fbp_geometry
+
+type t = {
+  name : string;
+  chip : Rect.t;
+  row_height : float;
+  netlist : Netlist.t;
+  blockages : Rect.t list;  (** fixed-macro outlines and hard blockages *)
+  initial : Placement.t;
+      (** golden/starting placement (FBP accepts any initial placement) *)
+  target_density : float;  (** max bin utilization placers may reach *)
+}
+
+val n_rows : t -> int
+
+(** Chip capacity available to movable cells under the target density. *)
+val capacity : t -> float
+
+(** capacity / movable area; >= 1 for feasible designs. *)
+val whitespace_ratio : t -> float
+
+val validate : t -> (unit, string) result

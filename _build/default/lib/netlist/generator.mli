@@ -1,0 +1,29 @@
+(** Deterministic synthetic design generator (see DESIGN.md for why the
+    paper's proprietary testbed is substituted).
+
+    Reproduces the structural knobs that drive placement difficulty: a
+    clustered golden placement, a Rent-style net-degree distribution with
+    mostly-local pins, fixed macros, boundary pads, rows, and a target
+    density. Same parameters ⇒ bit-identical design. *)
+
+type params = {
+  name : string;
+  n_cells : int;
+  utilization : float;  (** movable area / chip capacity *)
+  n_macros : int;
+  macro_fraction : float;  (** chip-area fraction covered by macros *)
+  n_pads : int;
+  avg_net_degree : float;
+  locality : float;  (** probability a net pin stays in-cluster *)
+  cluster_size : int;
+  target_density : float;
+  seed : int;
+}
+
+val default_params : params
+
+(** Raises [Invalid_argument] for fewer than 2 cells. *)
+val generate : params -> Design.t
+
+(** [quick n] = default parameters with [n] cells. *)
+val quick : ?seed:int -> ?name:string -> int -> Design.t

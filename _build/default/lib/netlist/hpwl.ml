@@ -1,0 +1,31 @@
+(* Half-perimeter wirelength — the quality metric of every table in the
+   paper.  For each net, the bounding box of its pin positions contributes
+   weight * (width + height). *)
+
+let pin_position (_nl : Netlist.t) (p : Placement.t) (pin : Netlist.pin) =
+  if pin.Netlist.cell < 0 then (pin.Netlist.dx, pin.Netlist.dy)
+  else
+    ( p.Placement.x.(pin.Netlist.cell) +. pin.Netlist.dx,
+      p.Placement.y.(pin.Netlist.cell) +. pin.Netlist.dy )
+
+let of_net nl p (net : Netlist.net) =
+  let np = Array.length net.Netlist.pins in
+  if np <= 1 then 0.0
+  else begin
+    let x0 = ref infinity and x1 = ref neg_infinity in
+    let y0 = ref infinity and y1 = ref neg_infinity in
+    for i = 0 to np - 1 do
+      let x, y = pin_position nl p net.Netlist.pins.(i) in
+      if x < !x0 then x0 := x;
+      if x > !x1 then x1 := x;
+      if y < !y0 then y0 := y;
+      if y > !y1 then y1 := y
+    done;
+    net.Netlist.weight *. (!x1 -. !x0 +. !y1 -. !y0)
+  end
+
+let total nl p =
+  Array.fold_left (fun acc net -> acc +. of_net nl p net) 0.0 nl.Netlist.nets
+
+(* HPWL in the "millions of layout units" scale the tables use. *)
+let total_millions nl p = total nl p /. 1e6

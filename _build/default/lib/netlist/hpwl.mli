@@ -1,0 +1,12 @@
+(** Half-perimeter wirelength, the quality metric of all paper tables. *)
+
+(** Absolute position of a pin under a placement. *)
+val pin_position : Netlist.t -> Placement.t -> Netlist.pin -> float * float
+
+(** Weighted half-perimeter of one net's pin bounding box. *)
+val of_net : Netlist.t -> Placement.t -> Netlist.net -> float
+
+val total : Netlist.t -> Placement.t -> float
+
+(** [total] scaled by 1e-6 (the paper's table units). *)
+val total_millions : Netlist.t -> Placement.t -> float

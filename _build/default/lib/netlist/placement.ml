@@ -1,0 +1,64 @@
+(* Placements: cell-center coordinates for every cell of a netlist.
+
+   Center coordinates are used throughout (the QP is naturally formulated on
+   centers); conversion to lower-left corners happens only at the
+   legalization/IO boundary. *)
+
+open Fbp_geometry
+
+type t = {
+  x : float array;
+  y : float array;
+}
+
+let create n = { x = Array.make n 0.0; y = Array.make n 0.0 }
+
+let copy p = { x = Array.copy p.x; y = Array.copy p.y }
+
+let n_cells p = Array.length p.x
+
+let get p c = Point.make p.x.(c) p.y.(c)
+
+let set p c (pt : Point.t) =
+  p.x.(c) <- pt.Point.x;
+  p.y.(c) <- pt.Point.y
+
+(* Rectangle covered by cell [c] of netlist [nl] under this placement. *)
+let cell_rect nl p c =
+  Rect.of_center ~cx:p.x.(c) ~cy:p.y.(c) ~w:nl.Netlist.widths.(c)
+    ~h:nl.Netlist.heights.(c)
+
+(* Average displacement from another placement — the metric legalization
+   minimizes. *)
+let avg_displacement a b =
+  let n = n_cells a in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for c = 0 to n - 1 do
+      acc := !acc +. Float.abs (a.x.(c) -. b.x.(c)) +. Float.abs (a.y.(c) -. b.y.(c))
+    done;
+    !acc /. float_of_int n
+  end
+
+let max_displacement a b =
+  let n = n_cells a in
+  let worst = ref 0.0 in
+  for c = 0 to n - 1 do
+    let d = Float.abs (a.x.(c) -. b.x.(c)) +. Float.abs (a.y.(c) -. b.y.(c)) in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+(* Center of gravity of a set of cells, weighted by area. *)
+let center_of_gravity nl p cells =
+  let sx = ref 0.0 and sy = ref 0.0 and mass = ref 0.0 in
+  List.iter
+    (fun c ->
+      let m = Netlist.size nl c in
+      sx := !sx +. (m *. p.x.(c));
+      sy := !sy +. (m *. p.y.(c));
+      mass := !mass +. m)
+    cells;
+  if !mass <= 0.0 then None
+  else Some (Point.make (!sx /. !mass) (!sy /. !mass))

@@ -1,0 +1,27 @@
+(** Placements: cell-center coordinates for every cell of a netlist. *)
+
+open Fbp_geometry
+
+type t = {
+  x : float array;
+  y : float array;
+}
+
+(** All-zero placement for [n] cells. *)
+val create : int -> t
+
+val copy : t -> t
+val n_cells : t -> int
+val get : t -> int -> Point.t
+val set : t -> int -> Point.t -> unit
+
+(** Rectangle covered by a cell under this placement. *)
+val cell_rect : Netlist.t -> t -> int -> Rect.t
+
+(** Mean per-cell L1 displacement between two placements. *)
+val avg_displacement : t -> t -> float
+
+val max_displacement : t -> t -> float
+
+(** Area-weighted centroid of a set of cells; [None] for zero mass. *)
+val center_of_gravity : Netlist.t -> t -> int list -> Point.t option

@@ -1,0 +1,1 @@
+lib/util/parallel.ml: Array Domain List

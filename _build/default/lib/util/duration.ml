@@ -1,0 +1,16 @@
+(* Formatting of wall-clock durations in the paper's h:mm:ss style. *)
+
+let to_hms seconds =
+  let s = if seconds < 0.0 then 0.0 else seconds in
+  let total = int_of_float (Float.round s) in
+  let h = total / 3600 in
+  let m = total mod 3600 / 60 in
+  let sec = total mod 60 in
+  Printf.sprintf "%d:%02d:%02d" h m sec
+
+(* Higher-resolution variant for sub-second phases (Table I rows where the
+   flow computation rounds to 0:00:00). *)
+let pretty seconds =
+  if seconds < 1.0 then Printf.sprintf "%.3fs" seconds
+  else if seconds < 60.0 then Printf.sprintf "%.2fs" seconds
+  else to_hms seconds

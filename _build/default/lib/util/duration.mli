@@ -1,0 +1,7 @@
+(** Wall-clock duration formatting in the paper's table style. *)
+
+(** [to_hms 3723.4] is ["1:02:03"]. *)
+val to_hms : float -> string
+
+(** Sub-second-aware variant: ["0.532s"], ["12.40s"], or h:mm:ss. *)
+val pretty : float -> string

@@ -1,0 +1,55 @@
+(* Deterministic fork-join parallelism over OCaml 5 domains.
+
+   The FBP realization (paper Section IV-B) processes independent external
+   flow edges in parallel "waves": within a wave, work items touch disjoint
+   coarse windows, so they commute.  We split each wave into contiguous
+   chunks, run one domain per chunk and join in order, which makes the result
+   identical to the sequential execution — the determinism property the paper
+   emphasizes ("preserves deterministic behavior"). *)
+
+let default_domains = ref (max 1 (min 8 (Domain.recommended_domain_count ())))
+
+let set_default_domains n = default_domains := max 1 n
+
+let get_default_domains () = !default_domains
+
+(* [map_array ~domains f a]: like [Array.map f a] but evaluated by [domains]
+   domains over contiguous chunks.  [f] must be safe to run concurrently on
+   distinct indices.  Results are assembled in index order. *)
+let map_array ?domains f a =
+  let domains = match domains with Some d -> max 1 d | None -> !default_domains in
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if domains = 1 || n = 1 then Array.map f a
+  else begin
+    let k = min domains n in
+    let chunk = (n + k - 1) / k in
+    let work lo hi = Array.init (hi - lo) (fun i -> f a.(lo + i)) in
+    let spawned =
+      List.init (k - 1) (fun d ->
+          let lo = (d + 1) * chunk in
+          let hi = min n (lo + chunk) in
+          if lo >= hi then None
+          else Some (Domain.spawn (fun () -> (lo, work lo hi))))
+    in
+    let first = work 0 (min chunk n) in
+    let out = Array.make n first.(0) in
+    Array.blit first 0 out 0 (Array.length first);
+    List.iter
+      (function
+        | None -> ()
+        | Some d ->
+          let lo, part = Domain.join d in
+          Array.blit part 0 out lo (Array.length part))
+      spawned;
+    out
+  end
+
+(* [iter_array ~domains f a]: parallel [Array.iter]; [f] must only write to
+   state private to its index (e.g. disjoint slices of shared arrays). *)
+let iter_array ?domains f a =
+  ignore (map_array ?domains (fun x -> f x) a)
+
+(* [init ~domains n f]: parallel [Array.init]. *)
+let init ?domains n f =
+  map_array ?domains f (Array.init n (fun i -> i))

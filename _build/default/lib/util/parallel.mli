@@ -1,0 +1,20 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    Work is split into contiguous chunks joined in index order, so results
+    equal the sequential execution — the determinism property the paper's
+    parallel realization preserves. *)
+
+(** Set the default number of domains used when [?domains] is omitted. *)
+val set_default_domains : int -> unit
+
+val get_default_domains : unit -> int
+
+(** Parallel [Array.map]. [f] must be safe to run concurrently on distinct
+    indices. *)
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Parallel [Array.iter]. [f] must only touch state private to its index. *)
+val iter_array : ?domains:int -> ('a -> unit) -> 'a array -> unit
+
+(** Parallel [Array.init]. *)
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array

@@ -1,0 +1,64 @@
+(* Deterministic SplitMix64 pseudo-random generator.
+
+   Every stochastic component of the reproduction (netlist generation,
+   movebound scenarios, property-test fixtures) draws from this generator so
+   that results are identical across runs, OCaml versions and domains.  The
+   stdlib [Random] is deliberately not used: its algorithm changed between
+   compiler releases and its global state is awkward under Domains. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom number
+   generators"). *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Non-negative 62-bit integer. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(* Uniform integer in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod n
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let f = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  f *. (1.0 /. 9007199254740992.0)
+
+(* Uniform float in [lo, hi). *)
+let range t lo hi = lo +. ((hi -. lo) *. float t)
+
+(* Approximate standard normal via sum of 12 uniforms (Irwin-Hall). *)
+let normal t =
+  let rec sum k acc = if k = 0 then acc else sum (k - 1) (acc +. float t) in
+  sum 12 0.0 -. 6.0
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Derive an independent stream, e.g. one per domain or per design. *)
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.mul seed 0x2545F4914F6CDD1DL }
+
+(* In-place Fisher-Yates shuffle. *)
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Pick one element of a non-empty array. *)
+let choose t a = a.(int t (Array.length a))

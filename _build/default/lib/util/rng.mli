@@ -1,0 +1,42 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    All stochastic components of the reproduction draw from this generator so
+    that every run is bit-for-bit reproducible, independent of the stdlib
+    [Random] implementation and of domain scheduling. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal streams. *)
+val create : int -> t
+
+(** Independent copy sharing no state with the original. *)
+val copy : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** Uniform non-negative int (62 bits). *)
+val bits : t -> int
+
+(** [int t n] is uniform in [0, n). Raises [Invalid_argument] if [n <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [range t lo hi] is uniform in [lo, hi). *)
+val range : t -> float -> float -> float
+
+(** Approximately standard-normal deviate (Irwin–Hall sum of 12). *)
+val normal : t -> float
+
+val bool : t -> bool
+
+(** Derive an independent stream (e.g. one per domain or per design). *)
+val split : t -> t
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** Uniformly pick one element of a non-empty array. *)
+val choose : t -> 'a array -> 'a

@@ -1,0 +1,43 @@
+(* Small descriptive-statistics helpers used by the harness and tests. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let sum = Array.fold_left ( +. ) 0.0
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+    (a.(0), a.(0)) a
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc v -> acc +. ((v -. m) *. (v -. m))) 0.0 a in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+(* Percentile with linear interpolation; [p] in [0, 1]. *)
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  let frac = pos -. floor pos in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+(* Geometric mean of strictly positive values — the standard aggregate for
+   normalized HPWL ratios. *)
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun acc v -> acc +. log v) 0.0 a in
+    exp (acc /. float_of_int n)
+  end

@@ -1,0 +1,17 @@
+(** Descriptive statistics used by the harness and tests. *)
+
+val mean : float array -> float
+val sum : float array -> float
+
+(** Raises [Invalid_argument] on an empty array. *)
+val min_max : float array -> float * float
+
+(** Sample standard deviation (n−1 denominator); 0 for fewer than 2 values. *)
+val stddev : float array -> float
+
+(** [percentile a p] with [p] in [0,1], linear interpolation.
+    Raises [Invalid_argument] on an empty array. *)
+val percentile : float array -> float -> float
+
+(** Geometric mean of strictly positive values. *)
+val geomean : float array -> float

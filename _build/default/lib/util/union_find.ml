@@ -1,0 +1,47 @@
+(* Disjoint-set forest with path halving and union by rank.  Used to merge
+   Hanan cells of equal coverage signature into maximal regions. *)
+
+type t = {
+  parent : int array;
+  rank : int array;
+}
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    (* path halving *)
+    t.parent.(i) <- t.parent.(p);
+    find t t.parent.(i)
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+  end
+
+let same t a b = find t a = find t b
+
+(* Map every element to a dense group index in [0, #groups). *)
+let groups t =
+  let n = Array.length t.parent in
+  let id = Array.make n (-1) in
+  let next = ref 0 in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    if id.(r) < 0 then begin
+      id.(r) <- !next;
+      incr next
+    end;
+    out.(i) <- id.(r)
+  done;
+  (out, !next)

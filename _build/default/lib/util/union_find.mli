@@ -1,0 +1,19 @@
+(** Disjoint-set forest with path halving and union by rank. *)
+
+type t
+
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+val create : int -> t
+
+(** Canonical representative of the set containing [i]. *)
+val find : t -> int -> int
+
+(** Merge the sets containing the two elements. *)
+val union : t -> int -> int -> unit
+
+(** Are the two elements in the same set? *)
+val same : t -> int -> int -> bool
+
+(** [groups t] maps every element to a dense group index and returns the
+    number of groups. *)
+val groups : t -> int array * int

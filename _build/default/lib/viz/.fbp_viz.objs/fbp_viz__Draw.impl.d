@@ -1,0 +1,1 @@
+lib/viz/draw.ml: Array Design Fbp_core Fbp_geometry Fbp_movebound Fbp_netlist Hashtbl List Netlist Placement Point Printf Rect Rect_set Svg

@@ -1,0 +1,1 @@
+lib/viz/draw.mli: Fbp_core Fbp_geometry Fbp_movebound Fbp_netlist Placement Svg

@@ -1,0 +1,21 @@
+(** Figure renderers: placement plots and the paper's Figures 1–4. *)
+
+open Fbp_netlist
+
+(** Cells colored by movebound class; movebound outlines; blockages gray. *)
+val placement : Fbp_movebound.Instance.t -> Placement.t -> Svg.t
+
+(** Figure 1 left: movebound areas with labels. *)
+val fig1_movebounds :
+  Fbp_geometry.Rect.t -> Fbp_movebound.Movebound.t array -> Svg.t
+
+(** Figure 1 right: the maximal regions of the decomposition. *)
+val fig1_regions : Fbp_geometry.Rect.t -> Fbp_movebound.Regions.t -> Svg.t
+
+(** Figures 2–3: the flow model's nodes and edge families. *)
+val flow_model : Fbp_core.Fbp_model.t -> Svg.t
+
+(** Figure 4: placement plus the flow-carrying external arcs at a step. *)
+val realization_snapshot :
+  Fbp_movebound.Instance.t -> Placement.t -> Fbp_core.Grid.t ->
+  Fbp_core.Fbp_model.external_flow list -> Svg.t

@@ -1,0 +1,68 @@
+(* Minimal SVG writer: enough for placement plots and the paper's figures.
+   Coordinates are chip coordinates; the viewBox flips y so the chip origin
+   sits bottom-left like in layout viewers. *)
+
+type t = {
+  buf : Buffer.t;
+  width : float;
+  height : float;
+}
+
+let create ~width ~height =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 %g %g\" width=\"800\" height=\"%g\">\n"
+       width height (800.0 *. height /. Float.max 1e-9 width));
+  { buf; width; height }
+
+(* flip y: chip y grows upward, svg y downward *)
+let fy t y = t.height -. y
+
+let rect t (r : Fbp_geometry.Rect.t) ~fill ?(stroke = "none") ?(stroke_width = 0.0)
+    ?(opacity = 1.0) () =
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" fill=\"%s\" stroke=\"%s\" stroke-width=\"%g\" fill-opacity=\"%g\"/>\n"
+       r.Fbp_geometry.Rect.x0
+       (fy t r.Fbp_geometry.Rect.y1)
+       (Fbp_geometry.Rect.width r) (Fbp_geometry.Rect.height r) fill stroke
+       stroke_width opacity)
+
+let line t ~x1 ~y1 ~x2 ~y2 ~stroke ?(stroke_width = 0.3) ?(opacity = 1.0) () =
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"%s\" stroke-width=\"%g\" stroke-opacity=\"%g\"/>\n"
+       x1 (fy t y1) x2 (fy t y2) stroke stroke_width opacity)
+
+let circle t ~cx ~cy ~r ~fill () =
+  Buffer.add_string t.buf
+    (Printf.sprintf "<circle cx=\"%g\" cy=\"%g\" r=\"%g\" fill=\"%s\"/>\n" cx (fy t cy) r fill)
+
+let text t ~x ~y ~size s =
+  Buffer.add_string t.buf
+    (Printf.sprintf "<text x=\"%g\" y=\"%g\" font-size=\"%g\" font-family=\"sans-serif\">%s</text>\n"
+       x (fy t y) size s)
+
+let arrow t ~x1 ~y1 ~x2 ~y2 ~stroke ?(stroke_width = 0.4) () =
+  line t ~x1 ~y1 ~x2 ~y2 ~stroke ~stroke_width ();
+  (* small arrowhead *)
+  let dx = x2 -. x1 and dy = y2 -. y1 in
+  let len = Float.max 1e-9 (sqrt ((dx *. dx) +. (dy *. dy))) in
+  let ux = dx /. len and uy = dy /. len in
+  let hx = x2 -. (2.0 *. ux) and hy = y2 -. (2.0 *. uy) in
+  line t ~x1:(hx -. (0.8 *. uy)) ~y1:(hy +. (0.8 *. ux)) ~x2 ~y2 ~stroke ~stroke_width ();
+  line t ~x1:(hx +. (0.8 *. uy)) ~y1:(hy -. (0.8 *. ux)) ~x2 ~y2 ~stroke ~stroke_width ()
+
+let to_string t = Buffer.contents t.buf ^ "</svg>\n"
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+(* categorical palette for regions / movebounds *)
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#e15759"; "#76b7b2"; "#59a14f"; "#edc948";
+     "#b07aa1"; "#ff9da7"; "#9c755f"; "#bab0ac" |]
+
+let color i = palette.(i mod Array.length palette)

@@ -1,0 +1,29 @@
+(** Minimal SVG writer for placement plots and the paper's figures.
+    Coordinates are chip coordinates; y is flipped so the origin sits
+    bottom-left as in layout viewers. *)
+
+type t
+
+val create : width:float -> height:float -> t
+
+val rect :
+  t -> Fbp_geometry.Rect.t -> fill:string -> ?stroke:string ->
+  ?stroke_width:float -> ?opacity:float -> unit -> unit
+
+val line :
+  t -> x1:float -> y1:float -> x2:float -> y2:float -> stroke:string ->
+  ?stroke_width:float -> ?opacity:float -> unit -> unit
+
+val circle : t -> cx:float -> cy:float -> r:float -> fill:string -> unit -> unit
+val text : t -> x:float -> y:float -> size:float -> string -> unit
+
+(** Line with an arrowhead at (x2, y2). *)
+val arrow :
+  t -> x1:float -> y1:float -> x2:float -> y2:float -> stroke:string ->
+  ?stroke_width:float -> unit -> unit
+
+val to_string : t -> string
+val write_file : string -> t -> unit
+
+(** Categorical palette (cycles). *)
+val color : int -> string

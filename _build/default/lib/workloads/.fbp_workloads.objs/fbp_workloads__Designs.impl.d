@@ -1,0 +1,1 @@
+lib/workloads/designs.ml: Array Fbp_netlist Float List Sys

@@ -1,0 +1,1 @@
+lib/workloads/designs.mli: Fbp_netlist

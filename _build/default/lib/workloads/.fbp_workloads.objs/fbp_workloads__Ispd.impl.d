@@ -1,0 +1,1 @@
+lib/workloads/ispd.ml: Array Design Designs Fbp_core Fbp_geometry Fbp_netlist Float Generator Hpwl

@@ -1,0 +1,1 @@
+lib/workloads/ispd.mli: Design Fbp_netlist Placement

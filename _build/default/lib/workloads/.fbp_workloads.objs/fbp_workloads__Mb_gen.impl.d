@@ -1,0 +1,1 @@
+lib/workloads/mb_gen.ml: Array Design Fbp_core Fbp_geometry Fbp_movebound Fbp_netlist Fbp_util Float Hashtbl List Netlist Placement Point Printf Rect Rect_set Rng

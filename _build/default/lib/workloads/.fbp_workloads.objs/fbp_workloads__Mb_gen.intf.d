@@ -1,0 +1,1 @@
+lib/workloads/mb_gen.mli: Fbp_movebound Fbp_netlist

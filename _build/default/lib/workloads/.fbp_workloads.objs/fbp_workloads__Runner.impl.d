@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Design Fbp_baselines Fbp_core Fbp_legalize Fbp_movebound Fbp_netlist Fbp_util Hpwl Placement

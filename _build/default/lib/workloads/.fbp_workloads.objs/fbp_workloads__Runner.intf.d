@@ -1,0 +1,1 @@
+lib/workloads/runner.mli: Fbp_baselines Fbp_core Fbp_movebound Fbp_netlist Placement

@@ -1,0 +1,1 @@
+lib/workloads/tables.ml: Array Designs Duration Fbp_core Fbp_movebound Fbp_netlist Fbp_util Float Ispd List Mb_gen Option Printf Runner Stats Table

@@ -1,0 +1,1 @@
+lib/workloads/tables.mli: Fbp_movebound Fbp_util Ispd Mb_gen Runner Table

@@ -1,0 +1,113 @@
+(* Run a placer on an instance and collect the metrics every table needs:
+   legal-placement HPWL, wall time split into global and legalization,
+   movebound violations, and the legality audit. *)
+
+open Fbp_netlist
+
+type metrics = {
+  tool : string;
+  hpwl : float;  (* after legalization *)
+  hpwl_global : float;  (* before legalization *)
+  global_time : float;
+  legalize_time : float;
+  total_time : float;
+  violations : int;
+  legal : bool;  (* overlap/row/chip-audit clean *)
+  levels : Fbp_core.Placer.level_report list;  (* FBP only *)
+  placement : Placement.t;  (* final legal placement *)
+}
+
+let audit_of (inst : Fbp_movebound.Instance.t) pos =
+  let design = inst.Fbp_movebound.Instance.design in
+  let a = Fbp_legalize.Check.audit design pos in
+  let v = Fbp_movebound.Legality.check inst pos in
+  (a.Fbp_legalize.Check.legal, v.Fbp_movebound.Legality.n_violations)
+
+let normalized inst =
+  match Fbp_movebound.Instance.normalize inst with
+  | Ok i -> i
+  | Error _ -> inst (* caller deals with infeasibility downstream *)
+
+let run_fbp ?(config = Fbp_core.Config.default) ?(repartition = 1)
+    (inst : Fbp_movebound.Instance.t) =
+  let nl = inst.Fbp_movebound.Instance.design.Design.netlist in
+  match Fbp_core.Placer.place ~config inst with
+  | Error e -> Error e
+  | Ok rep ->
+    (* reflow post-pass (Repartition): a sweep or two of 2x2 block
+       re-optimization recovers HPWL at negligible cost *)
+    let repartition_time =
+      if repartition > 0 then begin
+        let t0 = Fbp_util.Timer.now () in
+        ignore (Fbp_core.Repartition.refine ~sweeps:repartition config inst rep);
+        Fbp_util.Timer.now () -. t0
+      end
+      else 0.0
+    in
+    let pos = rep.Fbp_core.Placer.placement in
+    let hpwl_global = Hpwl.total nl pos in
+    let inst_n = normalized inst in
+    let lst =
+      Fbp_legalize.Legalizer.run inst_n rep.Fbp_core.Placer.regions pos
+        ~piece_of_cell:rep.Fbp_core.Placer.piece_of_cell
+        ~grid:rep.Fbp_core.Placer.final_grid
+    in
+    let legal, violations = audit_of inst_n pos in
+    Ok
+      {
+        tool = "BonnPlace FBP (repro)";
+        hpwl = Hpwl.total nl pos;
+        hpwl_global;
+        global_time = rep.Fbp_core.Placer.total_time +. repartition_time;
+        legalize_time = lst.Fbp_legalize.Legalizer.time;
+        total_time =
+          rep.Fbp_core.Placer.total_time +. repartition_time
+          +. lst.Fbp_legalize.Legalizer.time;
+        violations;
+        legal = legal && lst.Fbp_legalize.Legalizer.n_failed = 0;
+        levels = rep.Fbp_core.Placer.levels;
+        placement = pos;
+      }
+
+let run_rql ?params (inst : Fbp_movebound.Instance.t) =
+  match Fbp_baselines.Rql.place ?params inst with
+  | Error e -> Error e
+  | Ok rep ->
+    let inst_n = normalized inst in
+    let legal, violations = audit_of inst_n rep.Fbp_baselines.Rql.placement in
+    Ok
+      {
+        tool = "RQL (repro)";
+        hpwl = rep.Fbp_baselines.Rql.hpwl;
+        hpwl_global = rep.Fbp_baselines.Rql.hpwl;
+        global_time = rep.Fbp_baselines.Rql.global_time;
+        legalize_time = rep.Fbp_baselines.Rql.legalize_time;
+        total_time =
+          rep.Fbp_baselines.Rql.global_time +. rep.Fbp_baselines.Rql.legalize_time;
+        violations;
+        legal;
+        levels = [];
+        placement = rep.Fbp_baselines.Rql.placement;
+      }
+
+let run_kraftwerk ?params (inst : Fbp_movebound.Instance.t) =
+  match Fbp_baselines.Kraftwerk.place ?params inst with
+  | Error e -> Error e
+  | Ok rep ->
+    let inst_n = normalized inst in
+    let legal, violations = audit_of inst_n rep.Fbp_baselines.Kraftwerk.placement in
+    Ok
+      {
+        tool = "Kraftwerk2 (repro)";
+        hpwl = rep.Fbp_baselines.Kraftwerk.hpwl;
+        hpwl_global = rep.Fbp_baselines.Kraftwerk.hpwl;
+        global_time = rep.Fbp_baselines.Kraftwerk.global_time;
+        legalize_time = rep.Fbp_baselines.Kraftwerk.legalize_time;
+        total_time =
+          rep.Fbp_baselines.Kraftwerk.global_time
+          +. rep.Fbp_baselines.Kraftwerk.legalize_time;
+        violations;
+        legal;
+        levels = [];
+        placement = rep.Fbp_baselines.Kraftwerk.placement;
+      }

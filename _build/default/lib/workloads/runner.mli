@@ -1,0 +1,30 @@
+(** Run a placer end-to-end (global + legalization) and collect the metrics
+    the tables need. *)
+
+open Fbp_netlist
+
+type metrics = {
+  tool : string;
+  hpwl : float;  (** after legalization *)
+  hpwl_global : float;
+  global_time : float;
+  legalize_time : float;
+  total_time : float;
+  violations : int;  (** movebound violations in the final placement *)
+  legal : bool;  (** overlap/row/chip audit clean *)
+  levels : Fbp_core.Placer.level_report list;  (** FBP only *)
+  placement : Placement.t;
+}
+
+(** [repartition] = number of reflow sweeps after global placement
+    (default 1; 0 disables — the ablation mode). *)
+val run_fbp :
+  ?config:Fbp_core.Config.t -> ?repartition:int -> Fbp_movebound.Instance.t ->
+  (metrics, string) result
+
+val run_rql :
+  ?params:Fbp_baselines.Rql.params -> Fbp_movebound.Instance.t -> (metrics, string) result
+
+val run_kraftwerk :
+  ?params:Fbp_baselines.Kraftwerk.params -> Fbp_movebound.Instance.t ->
+  (metrics, string) result

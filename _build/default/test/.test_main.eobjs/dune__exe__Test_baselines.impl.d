@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Design Fbp_baselines Fbp_geometry Fbp_legalize Fbp_movebound Fbp_netlist Fbp_util Fbp_workloads Generator Hpwl Netlist Option Placement Printf

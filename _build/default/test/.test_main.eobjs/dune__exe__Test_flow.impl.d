@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Fbp_flow Fbp_util Float Graph List Maxflow Mcf Printf QCheck QCheck_alcotest Transport

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Fbp_geometry Float Hanan List Point QCheck QCheck_alcotest Rect Rect_set

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cg Csr Fbp_linalg Fbp_util Float List QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_repartition.ml: Alcotest Array Design Fbp_core Fbp_geometry Fbp_movebound Fbp_netlist Fbp_util Fbp_workloads Float Generator List Netlist Option Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Duration Fbp_util List Parallel Pq Printf QCheck QCheck_alcotest Rng Stats String Sys Table Timer Union_find

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Draw Fbp_core Fbp_geometry Fbp_movebound Fbp_netlist Fbp_viz Rect String Svg

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Designs Fbp_core Fbp_geometry Fbp_legalize Fbp_movebound Fbp_netlist Fbp_workloads Float Ispd List Mb_gen Option Printf Runner

@@ -1,0 +1,108 @@
+(* Tests for fbp_baselines: the three comparators produce legal placements
+   of sane quality, and the spreading machinery behaves. *)
+
+open Fbp_netlist
+
+let test_spread_reduces_overflow () =
+  (* pile everything on one spot; one spreading pass must reduce overflow *)
+  let d = Generator.quick ~seed:71 ~name:"spread" 800 in
+  let pos = Placement.copy d.Design.initial in
+  let c = Fbp_geometry.Rect.center d.Design.chip in
+  for i = 0 to Netlist.n_cells d.Design.netlist - 1 do
+    Placement.set pos i c
+  done;
+  let before = Fbp_baselines.Spread.compute_bins d pos ~nx:8 ~ny:8 in
+  let ov0 = Fbp_baselines.Spread.max_overflow_ratio before in
+  let tx, ty, _ = Fbp_baselines.Spread.targets d pos ~nx:8 ~ny:8 ~theta:1.0 in
+  Array.blit tx 0 pos.Placement.x 0 (Array.length tx);
+  Array.blit ty 0 pos.Placement.y 0 (Array.length ty);
+  let after = Fbp_baselines.Spread.compute_bins d pos ~nx:8 ~ny:8 in
+  let ov1 = Fbp_baselines.Spread.max_overflow_ratio after in
+  Alcotest.(check bool)
+    (Printf.sprintf "overflow %.1f -> %.1f" ov0 ov1)
+    true (ov1 < ov0)
+
+let test_rql_places_legally () =
+  let d = Generator.quick ~seed:72 ~name:"rql" 1500 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  match Fbp_baselines.Rql.place inst with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    let audit = Fbp_legalize.Check.audit d rep.Fbp_baselines.Rql.placement in
+    Alcotest.(check bool) "legal" true audit.Fbp_legalize.Check.legal;
+    Alcotest.(check bool) "iterated" true (rep.Fbp_baselines.Rql.iterations >= 1)
+
+let test_kraftwerk_places_legally () =
+  let d = Generator.quick ~seed:73 ~name:"kw" 1500 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  match Fbp_baselines.Kraftwerk.place inst with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    let audit = Fbp_legalize.Check.audit d rep.Fbp_baselines.Kraftwerk.placement in
+    Alcotest.(check bool) "legal" true audit.Fbp_legalize.Check.legal
+
+let test_rql_beats_random () =
+  (* the baseline must be a real placer: much better than random positions *)
+  let d = Generator.quick ~seed:74 ~name:"rql2" 1500 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  match Fbp_baselines.Rql.place inst with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    let shuffled = Placement.copy d.Design.initial in
+    let rng = Fbp_util.Rng.create 75 in
+    let n = Netlist.n_cells d.Design.netlist in
+    let perm = Array.init n (fun i -> i) in
+    Fbp_util.Rng.shuffle rng perm;
+    let px = Array.copy shuffled.Placement.x and py = Array.copy shuffled.Placement.y in
+    Array.iteri
+      (fun i j ->
+        shuffled.Placement.x.(i) <- px.(j);
+        shuffled.Placement.y.(i) <- py.(j))
+      perm;
+    let rand_hpwl = Hpwl.total d.Design.netlist shuffled in
+    Alcotest.(check bool) "rql < 0.5 * random" true
+      (rep.Fbp_baselines.Rql.hpwl < 0.5 *. rand_hpwl)
+
+let test_recursive_reports_overruns () =
+  let d = Generator.quick ~seed:76 ~name:"rec" 1200 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  match Fbp_baselines.Recursive.place inst with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    Alcotest.(check bool) "hpwl positive" true (rep.Fbp_baselines.Recursive.hpwl > 0.0);
+    (* overflow events are the whole point of the ablation: the counter
+       exists and is non-negative *)
+    Alcotest.(check bool) "overflow events >= 0" true
+      (rep.Fbp_baselines.Recursive.overflow_events >= 0)
+
+let test_rql_soft_movebounds_can_violate () =
+  (* a harsh overlapping scenario: RQL should produce violations while FBP
+     stays clean (Table IV's phenomenon, in miniature) *)
+  let spec = Option.get (Fbp_workloads.Designs.find_spec "rabe") in
+  let d = Fbp_workloads.Designs.instantiate ~scale:1.0 spec in
+  let sc =
+    { Fbp_workloads.Mb_gen.design = "rabe";
+      shape = Fbp_workloads.Mb_gen.Flatten 9;
+      coverage = 0.7; max_density = 0.8;
+      kind = Fbp_movebound.Movebound.Inclusive }
+  in
+  let inst = Fbp_workloads.Mb_gen.attach sc d in
+  match (Fbp_workloads.Runner.run_rql inst, Fbp_workloads.Runner.run_fbp inst) with
+  | Ok rql, Ok fbp ->
+    Alcotest.(check bool)
+      (Printf.sprintf "rql violations (%d) > fbp violations (%d)"
+         rql.Fbp_workloads.Runner.violations fbp.Fbp_workloads.Runner.violations)
+      true
+      (rql.Fbp_workloads.Runner.violations > fbp.Fbp_workloads.Runner.violations);
+    Alcotest.(check bool) "fbp near-clean" true (fbp.Fbp_workloads.Runner.violations <= 5)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "spreading reduces overflow" `Quick test_spread_reduces_overflow;
+    Alcotest.test_case "rql legal" `Slow test_rql_places_legally;
+    Alcotest.test_case "kraftwerk legal" `Slow test_kraftwerk_places_legally;
+    Alcotest.test_case "rql beats random" `Slow test_rql_beats_random;
+    Alcotest.test_case "recursive baseline runs" `Quick test_recursive_reports_overruns;
+    Alcotest.test_case "soft movebounds can violate" `Slow test_rql_soft_movebounds_can_violate;
+  ]

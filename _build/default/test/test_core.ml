@@ -1,0 +1,411 @@
+(* Tests for fbp_core: density/capacity model, window grids, QP optimality,
+   the FBP flow model invariants (Theorem 3 behaviour, conservation, size
+   linearity), realization invariants, and the full placer. *)
+
+open Fbp_geometry
+open Fbp_netlist
+open Fbp_core
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ---------- Density ---------- *)
+
+let test_density_capacity () =
+  let density =
+    Density.of_parts
+      ~blockages:[ Rect.make ~x0:0.0 ~y0:0.0 ~x1:2.0 ~y1:2.0 ]
+      ~density:0.5
+  in
+  let r = Rect.make ~x0:0.0 ~y0:0.0 ~x1:4.0 ~y1:4.0 in
+  (* (16 - 4) * 0.5 *)
+  check_float "capacity with blockage" 6.0 (Density.capacity_rect density r);
+  let all_blocked = Rect.make ~x0:0.0 ~y0:0.0 ~x1:2.0 ~y1:2.0 in
+  check_float "fully blocked" 0.0 (Density.capacity_rect density all_blocked)
+
+let test_density_bins () =
+  let d = Generator.quick ~seed:8 300 in
+  let usage, cap = Density.bin_utilization d d.Design.initial ~nx:4 ~ny:4 in
+  let total_usage = Array.fold_left ( +. ) 0.0 usage in
+  Alcotest.(check (float 1.0)) "usage sums to movable area"
+    (Netlist.total_movable_area d.Design.netlist) total_usage;
+  Alcotest.(check bool) "caps positive somewhere" true (Array.exists (fun c -> c > 0.0) cap)
+
+(* ---------- Grid ---------- *)
+
+let fixture_regions () =
+  Fbp_movebound.Regions.decompose
+    ~chip:(Rect.make ~x0:0.0 ~y0:0.0 ~x1:8.0 ~y1:8.0)
+    [| Fbp_movebound.Movebound.make ~id:0 ~name:"m" ~kind:Fbp_movebound.Movebound.Inclusive
+         [ Rect.make ~x0:1.0 ~y0:1.0 ~x1:5.0 ~y1:5.0 ] |]
+
+let test_grid_windows_tile () =
+  let regions = fixture_regions () in
+  let density = Density.of_parts ~blockages:[] ~density:1.0 in
+  let chip = Rect.make ~x0:0.0 ~y0:0.0 ~x1:8.0 ~y1:8.0 in
+  let g = Grid.create ~chip ~nx:4 ~ny:2 ~regions ~density () in
+  Alcotest.(check int) "n windows" 8 (Grid.n_windows g);
+  let total = Array.fold_left (fun acc (w : Grid.window) -> acc +. Rect.area w.Grid.rect) 0.0 g.Grid.windows in
+  check_float "windows tile chip" 64.0 total;
+  (* pieces tile the chip too, and capacities sum to chip capacity *)
+  let ptotal =
+    Array.fold_left (fun acc (p : Grid.piece) -> acc +. Rect_set.area p.Grid.area) 0.0 g.Grid.pieces
+  in
+  check_float "pieces tile chip" 64.0 ptotal;
+  let ctotal = Array.fold_left (fun acc (p : Grid.piece) -> acc +. p.Grid.capacity) 0.0 g.Grid.pieces in
+  check_float "capacities = chip capacity" 64.0 ctotal
+
+let test_grid_lookup () =
+  let regions = fixture_regions () in
+  let density = Density.of_parts ~blockages:[] ~density:1.0 in
+  let chip = Rect.make ~x0:0.0 ~y0:0.0 ~x1:8.0 ~y1:8.0 in
+  let g = Grid.create ~chip ~nx:4 ~ny:4 ~regions ~density () in
+  Alcotest.(check int) "window at origin" 0 (Grid.window_at g (Point.make 0.1 0.1));
+  Alcotest.(check int) "window at far corner" 15 (Grid.window_at g (Point.make 7.9 7.9));
+  Alcotest.(check int) "clamped outside" 0 (Grid.window_at g (Point.make (-3.0) (-3.0)));
+  (* boundary points sit on the window frame *)
+  let bp = Grid.boundary_point g 0 1 in
+  check_float "east boundary x" 2.0 bp.Point.x;
+  Alcotest.(check int) "opposite of N is S" 2 (Grid.opposite_dir 0);
+  Alcotest.(check int) "4 neighbors in the middle" 4 (List.length (Grid.neighbors g 5));
+  Alcotest.(check int) "2 neighbors in the corner" 2 (List.length (Grid.neighbors g 0))
+
+(* ---------- QP ---------- *)
+
+(* two movable cells on a line between two pads: optimum is equidistant *)
+let test_qp_spring_chain () =
+  let nets =
+    [|
+      { Netlist.weight = 1.0;
+        pins = [| { Netlist.cell = -1; dx = 0.0; dy = 0.0 };
+                  { Netlist.cell = 0; dx = 0.0; dy = 0.0 } |] };
+      { Netlist.weight = 1.0;
+        pins = [| { Netlist.cell = 0; dx = 0.0; dy = 0.0 };
+                  { Netlist.cell = 1; dx = 0.0; dy = 0.0 } |] };
+      { Netlist.weight = 1.0;
+        pins = [| { Netlist.cell = 1; dx = 0.0; dy = 0.0 };
+                  { Netlist.cell = -1; dx = 9.0; dy = 0.0 } |] };
+    |]
+  in
+  let nl =
+    {
+      Netlist.n_cells = 2;
+      names = [| "a"; "b" |];
+      widths = [| 1.0; 1.0 |];
+      heights = [| 1.0; 1.0 |];
+      fixed = [| false; false |];
+      movebound = [| -1; -1 |];
+      nets;
+    }
+  in
+  let pos = Placement.create 2 in
+  let st = Qp.solve_global Config.default nl pos ~anchor:(fun _ -> None) in
+  Alcotest.(check bool) "solved" true (st.Qp.residual < 1e-4);
+  Alcotest.(check (float 1e-3)) "x0 at 3" 3.0 pos.Placement.x.(0);
+  Alcotest.(check (float 1e-3)) "x1 at 6" 6.0 pos.Placement.x.(1)
+
+let test_qp_anchor_pulls () =
+  let nl =
+    {
+      Netlist.n_cells = 1;
+      names = [| "a" |];
+      widths = [| 1.0 |];
+      heights = [| 1.0 |];
+      fixed = [| false |];
+      movebound = [| -1 |];
+      nets = [||];
+    }
+  in
+  let pos = Placement.create 1 in
+  ignore (Qp.solve_global Config.default nl pos ~anchor:(fun _ -> Some (1.0, 4.0, 1.0, -2.0)));
+  Alcotest.(check (float 1e-4)) "anchored x" 4.0 pos.Placement.x.(0);
+  Alcotest.(check (float 1e-4)) "anchored y" (-2.0) pos.Placement.y.(0)
+
+let test_qp_star_matches_small_clique_roughly () =
+  (* a 6-pin net between a fixed pad and 5 movable cells: star model must
+     pull all cells toward the pad symmetrically *)
+  let pins =
+    Array.init 6 (fun i ->
+        if i = 0 then { Netlist.cell = -1; dx = 10.0; dy = 10.0 }
+        else { Netlist.cell = i - 1; dx = 0.0; dy = 0.0 })
+  in
+  let nl =
+    {
+      Netlist.n_cells = 5;
+      names = Array.init 5 (Printf.sprintf "c%d");
+      widths = Array.make 5 1.0;
+      heights = Array.make 5 1.0;
+      fixed = Array.make 5 false;
+      movebound = Array.make 5 (-1);
+      nets = [| { Netlist.weight = 1.0; pins } |];
+    }
+  in
+  let pos = Placement.create 5 in
+  ignore (Qp.solve_global Config.default nl pos ~anchor:(fun _ -> None));
+  for c = 0 to 4 do
+    Alcotest.(check (float 1e-2)) "pulled to pad x" 10.0 pos.Placement.x.(c);
+    Alcotest.(check (float 1e-2)) "pulled to pad y" 10.0 pos.Placement.y.(c)
+  done
+
+(* ---------- FBP model ---------- *)
+
+let small_instance ?(n_cells = 400) ?(seed = 3) () =
+  let d = Generator.quick ~seed ~name:"t" n_cells in
+  Fbp_movebound.Instance.unconstrained d
+
+let build_model ?(nx = 4) inst =
+  let design = inst.Fbp_movebound.Instance.design in
+  let regions =
+    Fbp_movebound.Regions.decompose ~chip:design.Design.chip
+      inst.Fbp_movebound.Instance.movebounds
+  in
+  let density = Density.create design in
+  let grid = Grid.create ~chip:design.Design.chip ~nx ~ny:nx ~regions ~density () in
+  let model = Fbp_model.build inst regions grid design.Design.initial in
+  (regions, grid, model)
+
+let test_fbp_model_size_linear () =
+  (* |V| and |E| must not scale with the number of cells (paper Table I) *)
+  let _, _, m1 = build_model (small_instance ~n_cells:300 ()) in
+  let _, _, m2 = build_model (small_instance ~n_cells:1200 ()) in
+  Alcotest.(check bool) "node count cell-independent" true
+    (abs (m1.Fbp_model.n_nodes - m2.Fbp_model.n_nodes) * 10 < m1.Fbp_model.n_nodes + 10);
+  Alcotest.(check bool) "edges within 2x" true
+    (m2.Fbp_model.n_edges < 2 * m1.Fbp_model.n_edges + 32)
+
+let test_fbp_model_feasible_and_conserving () =
+  let inst = small_instance () in
+  let _, grid, model = build_model inst in
+  let sol = Fbp_model.solve model in
+  (match sol.Fbp_model.verdict with
+   | Fbp_flow.Mcf.Feasible _ -> ()
+   | Fbp_flow.Mcf.Infeasible _ -> Alcotest.fail "expected feasible");
+  (* prescriptions cover all movable area *)
+  let total_allot = Array.fold_left ( +. ) 0.0 sol.Fbp_model.allot in
+  let movable = Netlist.total_movable_area inst.Fbp_movebound.Instance.design.Design.netlist in
+  Alcotest.(check (float 0.5)) "allotments = movable area" movable total_allot;
+  (* no piece over capacity *)
+  Array.iter
+    (fun (p : Grid.piece) ->
+      let assigned = ref 0.0 in
+      for m = 0 to model.Fbp_model.n_classes - 1 do
+        assigned := !assigned +. Fbp_model.allotment sol ~piece:p.Grid.id ~m
+      done;
+      if !assigned > p.Grid.capacity +. 1e-4 then
+        Alcotest.failf "piece %d over capacity: %.3f > %.3f" p.Grid.id !assigned p.Grid.capacity)
+    grid.Grid.pieces
+
+let test_fbp_model_infeasible_detected () =
+  (* an inclusive movebound far too small for its cells *)
+  let d = Generator.quick ~seed:5 ~name:"t" 300 in
+  let nl = d.Design.netlist in
+  for c = 0 to 99 do
+    nl.Netlist.movebound.(c) <- 0
+  done;
+  let tiny = Rect.make ~x0:0.0 ~y0:0.0 ~x1:2.0 ~y1:2.0 in
+  let inst =
+    { Fbp_movebound.Instance.design = d;
+      movebounds =
+        [| Fbp_movebound.Movebound.make ~id:0 ~name:"tiny"
+             ~kind:Fbp_movebound.Movebound.Inclusive [ tiny ] |] }
+  in
+  let _, _, model = build_model inst in
+  let sol = Fbp_model.solve model in
+  match sol.Fbp_model.verdict with
+  | Fbp_flow.Mcf.Infeasible _ -> ()
+  | Fbp_flow.Mcf.Feasible _ -> Alcotest.fail "expected infeasible (Theorem 3)"
+
+let test_fbp_greedy_vs_exact () =
+  (* the greedy-seeded flow must stay feasible and near the exact optimum,
+     and both must prescribe the same total area *)
+  let inst = small_instance ~n_cells:500 ~seed:19 () in
+  let _, _, model_g = build_model ~nx:4 inst in
+  let sol_g = Fbp_model.solve model_g in
+  let _, _, model_e = build_model ~nx:4 inst in
+  let sol_e = Fbp_model.solve ~exact:true model_e in
+  (match (sol_g.Fbp_model.verdict, sol_e.Fbp_model.verdict) with
+   | Fbp_flow.Mcf.Feasible _, Fbp_flow.Mcf.Feasible _ -> ()
+   | _ -> Alcotest.fail "both modes must be feasible");
+  let total a = Array.fold_left ( +. ) 0.0 a in
+  Alcotest.(check (float 0.5)) "same prescribed area"
+    (total sol_e.Fbp_model.allot) (total sol_g.Fbp_model.allot);
+  (* the exact residual graph carries a min-cost flow *)
+  Alcotest.(check bool) "exact mode optimal" true
+    (Fbp_flow.Mcf.check_optimal model_e.Fbp_model.graph)
+
+let test_fbp_externals_acyclic () =
+  let inst = small_instance ~n_cells:800 ~seed:11 () in
+  let _, _, model = build_model ~nx:8 inst in
+  let sol = Fbp_model.solve model in
+  (* the external flow graph must be a DAG per class *)
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Fbp_model.external_flow) ->
+      Hashtbl.replace edges (e.Fbp_model.xm, e.Fbp_model.from_w)
+        (e.Fbp_model.to_w
+        :: (try Hashtbl.find edges (e.Fbp_model.xm, e.Fbp_model.from_w) with Not_found -> [])))
+    sol.Fbp_model.externals;
+  let state = Hashtbl.create 64 in
+  let rec visit m w =
+    match Hashtbl.find_opt state (m, w) with
+    | Some `Doing -> Alcotest.fail "cycle among flow-carrying external arcs"
+    | Some `Done -> ()
+    | None ->
+      Hashtbl.replace state (m, w) `Doing;
+      List.iter (visit m) (try Hashtbl.find edges (m, w) with Not_found -> []);
+      Hashtbl.replace state (m, w) `Done
+  in
+  Hashtbl.iter (fun (m, w) _ -> visit m w) edges
+
+(* ---------- Realization + placer ---------- *)
+
+let test_realization_assigns_everything () =
+  let inst = small_instance ~n_cells:600 ~seed:13 () in
+  let design = inst.Fbp_movebound.Instance.design in
+  let regions, grid, model = build_model ~nx:4 inst in
+  let sol = Fbp_model.solve model in
+  let pos = Placement.copy design.Design.initial in
+  let cell_nets = Netlist.cell_nets design.Design.netlist in
+  let r = Realization.realize Config.default inst regions sol pos ~cell_nets in
+  let nl = design.Design.netlist in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    if not nl.Netlist.fixed.(c) then begin
+      let pid = r.Realization.piece_of_cell.(c) in
+      if pid < 0 then Alcotest.failf "cell %d unassigned" c;
+      (* position is inside the assigned piece *)
+      let piece = grid.Grid.pieces.(pid) in
+      if not (Rect_set.contains_point piece.Grid.area (Placement.get pos c)) then
+        Alcotest.failf "cell %d outside its piece" c
+    end
+  done;
+  (* per-piece load close to capacity (one-cell slack) *)
+  let load = Array.make (Grid.n_pieces grid) 0.0 in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    let pid = r.Realization.piece_of_cell.(c) in
+    if pid >= 0 then load.(pid) <- load.(pid) +. Netlist.size nl c
+  done;
+  let max_cell = Array.fold_left Float.max 0.0 nl.Netlist.widths in
+  Array.iter
+    (fun (p : Grid.piece) ->
+      if load.(p.Grid.id) > p.Grid.capacity +. (3.0 *. max_cell) then
+        Alcotest.failf "piece %d badly overfull: %.2f vs %.2f" p.Grid.id load.(p.Grid.id)
+          p.Grid.capacity)
+    grid.Grid.pieces
+
+let test_realization_follows_flow_prescriptions () =
+  (* Eq. (2) semantics: the realized per-piece load must track the flow's
+     allotments within the integral-rounding slack (a few cells), and the
+     number of shipped cells must be consistent with the external flow. *)
+  let inst = small_instance ~n_cells:800 ~seed:23 () in
+  let design = inst.Fbp_movebound.Instance.design in
+  let regions, grid, model = build_model ~nx:4 inst in
+  let sol = Fbp_model.solve model in
+  let pos = Placement.copy design.Design.initial in
+  let cell_nets = Netlist.cell_nets design.Design.netlist in
+  let r = Realization.realize Config.default inst regions sol pos ~cell_nets in
+  let nl = design.Design.netlist in
+  let max_cell = Array.fold_left Float.max 0.0 nl.Netlist.widths in
+  (* per-piece load vs allotment *)
+  let load = Array.make (Grid.n_pieces grid) 0.0 in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    let pid = r.Realization.piece_of_cell.(c) in
+    if pid >= 0 then load.(pid) <- load.(pid) +. Netlist.size nl c
+  done;
+  Array.iter
+    (fun (p : Grid.piece) ->
+      let a = ref 0.0 in
+      for m = 0 to model.Fbp_model.n_classes - 1 do
+        a := !a +. Fbp_model.allotment sol ~piece:p.Grid.id ~m
+      done;
+      if Float.abs (load.(p.Grid.id) -. !a) > 4.0 *. max_cell then
+        Alcotest.failf "piece %d: load %.1f far from allotment %.1f" p.Grid.id
+          load.(p.Grid.id) !a)
+    grid.Grid.pieces;
+  (* total external flow bounds the shipped area *)
+  let ext_total =
+    List.fold_left (fun acc (e : Fbp_model.external_flow) -> acc +. e.Fbp_model.amount)
+      0.0 sol.Fbp_model.externals
+  in
+  if ext_total < 1e-9 then
+    Alcotest.(check int) "no externals, nothing shipped" 0
+      r.Realization.stats.Realization.n_shipped_cells
+
+let test_placer_improves_and_respects_movebounds () =
+  let d = Generator.quick ~seed:21 ~name:"t" 1200 in
+  let chip = d.Design.chip in
+  let w = Rect.width chip and h = Rect.height chip in
+  let island =
+    Rect.make ~x0:(0.5 *. w) ~y0:(0.5 *. h) ~x1:(0.95 *. w) ~y1:(0.95 *. h)
+  in
+  let nl = d.Design.netlist in
+  let rng = Fbp_util.Rng.create 4 in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    if Fbp_util.Rng.float rng < 0.15 then nl.Netlist.movebound.(c) <- 0
+  done;
+  let inst =
+    { Fbp_movebound.Instance.design = d;
+      movebounds =
+        [| Fbp_movebound.Movebound.make ~id:0 ~name:"isl"
+             ~kind:Fbp_movebound.Movebound.Inclusive [ island ] |] }
+  in
+  match Placer.place inst with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    Alcotest.(check bool) "levels ran" true (List.length rep.Placer.levels >= 2);
+    (* every constrained cell's center is inside its movebound *)
+    let out = ref 0 in
+    for c = 0 to Netlist.n_cells nl - 1 do
+      if nl.Netlist.movebound.(c) = 0 then
+        if not (Rect.contains_point island (Placement.get rep.Placer.placement c)) then
+          incr out
+    done;
+    Alcotest.(check int) "constrained centers inside island" 0 !out
+
+let test_placer_deterministic_parallel () =
+  let inst = small_instance ~n_cells:700 ~seed:17 () in
+  let run domains =
+    match Placer.place ~config:{ Config.default with domains } inst with
+    | Error e -> Alcotest.fail e
+    | Ok rep -> rep.Placer.placement
+  in
+  let p1 = run 1 and p4 = run 4 in
+  Alcotest.(check (array (float 0.0))) "x identical" p1.Placement.x p4.Placement.x;
+  Alcotest.(check (array (float 0.0))) "y identical" p1.Placement.y p4.Placement.y
+
+let test_placer_reports_infeasible () =
+  let d = Generator.quick ~seed:5 ~name:"t" 300 in
+  let nl = d.Design.netlist in
+  for c = 0 to 149 do
+    nl.Netlist.movebound.(c) <- 0
+  done;
+  let tiny = Rect.make ~x0:0.0 ~y0:0.0 ~x1:2.0 ~y1:1.0 in
+  let inst =
+    { Fbp_movebound.Instance.design = d;
+      movebounds =
+        [| Fbp_movebound.Movebound.make ~id:0 ~name:"tiny"
+             ~kind:Fbp_movebound.Movebound.Inclusive [ tiny ] |] }
+  in
+  match Placer.place inst with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected infeasibility report"
+
+let suite =
+  [
+    Alcotest.test_case "density capacity" `Quick test_density_capacity;
+    Alcotest.test_case "density bins" `Quick test_density_bins;
+    Alcotest.test_case "grid windows tile" `Quick test_grid_windows_tile;
+    Alcotest.test_case "grid lookup" `Quick test_grid_lookup;
+    Alcotest.test_case "qp spring chain" `Quick test_qp_spring_chain;
+    Alcotest.test_case "qp anchor" `Quick test_qp_anchor_pulls;
+    Alcotest.test_case "qp star model" `Quick test_qp_star_matches_small_clique_roughly;
+    Alcotest.test_case "fbp model size linear in windows" `Quick test_fbp_model_size_linear;
+    Alcotest.test_case "fbp model feasible + conserving" `Quick test_fbp_model_feasible_and_conserving;
+    Alcotest.test_case "fbp model detects infeasible" `Quick test_fbp_model_infeasible_detected;
+    Alcotest.test_case "fbp greedy vs exact flow" `Quick test_fbp_greedy_vs_exact;
+    Alcotest.test_case "fbp externals acyclic" `Quick test_fbp_externals_acyclic;
+    Alcotest.test_case "realization assigns everything" `Quick test_realization_assigns_everything;
+    Alcotest.test_case "realization follows flow prescriptions" `Quick
+      test_realization_follows_flow_prescriptions;
+    Alcotest.test_case "placer respects movebounds" `Slow test_placer_improves_and_respects_movebounds;
+    Alcotest.test_case "placer deterministic across domains" `Slow test_placer_deterministic_parallel;
+    Alcotest.test_case "placer reports infeasible" `Quick test_placer_reports_infeasible;
+  ]

@@ -1,0 +1,146 @@
+(* Tests for fbp_linalg: CSR assembly and CG on random SPD systems. *)
+
+open Fbp_linalg
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  check_float "dot" 32.0 (Vec.dot a b);
+  check_float "norm2" (sqrt 14.0) (Vec.norm2 a);
+  check_float "norm_inf" 3.0 (Vec.norm_inf a);
+  let y = Vec.copy b in
+  Vec.axpy ~alpha:2.0 a y;
+  Alcotest.(check (array (float 1e-9))) "axpy" [| 6.0; 9.0; 12.0 |] y;
+  Vec.scale ~alpha:0.5 y;
+  Alcotest.(check (array (float 1e-9))) "scale" [| 3.0; 4.5; 6.0 |] y;
+  let out = Vec.create 3 in
+  Vec.sub b a out;
+  Alcotest.(check (array (float 1e-9))) "sub" [| 3.0; 3.0; 3.0 |] out
+
+let test_csr_assembly_accumulates () =
+  let b = Csr.builder 3 in
+  Csr.add b ~row:0 ~col:1 2.0;
+  Csr.add b ~row:0 ~col:1 3.0;
+  Csr.add b ~row:2 ~col:0 1.0;
+  Csr.add b ~row:1 ~col:1 4.0;
+  let a = Csr.freeze b in
+  Alcotest.(check int) "nnz after merge" 3 (Csr.nnz a);
+  check_float "merged entry" 5.0 (Csr.get a 0 1);
+  check_float "diag" 4.0 (Csr.get a 1 1);
+  check_float "absent" 0.0 (Csr.get a 2 2)
+
+let test_csr_mul () =
+  let b = Csr.builder 2 in
+  Csr.add b ~row:0 ~col:0 2.0;
+  Csr.add b ~row:0 ~col:1 1.0;
+  Csr.add b ~row:1 ~col:1 3.0;
+  let a = Csr.freeze b in
+  let out = Vec.create 2 in
+  Csr.mul a [| 1.0; 2.0 |] out;
+  Alcotest.(check (array (float 1e-9))) "A x" [| 4.0; 6.0 |] out
+
+let test_csr_spring_symmetric () =
+  let b = Csr.builder 4 in
+  Csr.add_spring b 0 1 2.0;
+  Csr.add_spring b 1 3 1.0;
+  Csr.add_diag b 2 5.0;
+  let a = Csr.freeze b in
+  Alcotest.(check bool) "symmetric" true (Csr.is_symmetric a);
+  let d = Csr.diagonal a in
+  check_float "degree 1" 3.0 d.(1);
+  check_float "anchor" 5.0 d.(2)
+
+let test_cg_identity () =
+  let b = Csr.builder 3 in
+  for i = 0 to 2 do Csr.add_diag b i 1.0 done;
+  let a = Csr.freeze b in
+  let x = Vec.create 3 in
+  let st = Cg.solve a [| 1.0; -2.0; 3.0 |] x in
+  Alcotest.(check bool) "converged" true st.Cg.converged;
+  Alcotest.(check (array (float 1e-6))) "identity solve" [| 1.0; -2.0; 3.0 |] x
+
+let test_cg_small_spd () =
+  (* [[4,1],[1,3]] x = [1,2]  =>  x = [1/11, 7/11] *)
+  let b = Csr.builder 2 in
+  Csr.add b ~row:0 ~col:0 4.0;
+  Csr.add b ~row:0 ~col:1 1.0;
+  Csr.add b ~row:1 ~col:0 1.0;
+  Csr.add b ~row:1 ~col:1 3.0;
+  let a = Csr.freeze b in
+  let x = Vec.create 2 in
+  let st = Cg.solve a [| 1.0; 2.0 |] x in
+  Alcotest.(check bool) "converged" true st.Cg.converged;
+  check_float "x0" (1.0 /. 11.0) x.(0);
+  check_float "x1" (7.0 /. 11.0) x.(1)
+
+(* Random Laplacian + diagonal systems (exactly the QP's structure). *)
+let random_spd =
+  QCheck.Gen.(
+    int_range 3 25 >>= fun n ->
+    let edge = triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (float_range 0.1 5.0) in
+    pair (list_size (int_range 1 60) edge) (list_size (return n) (float_range 0.1 2.0))
+    >>= fun (edges, anchors) -> return (n, edges, anchors))
+
+let prop_cg_solves_spd =
+  QCheck.Test.make ~name:"cg solves random Laplacian+diag systems" ~count:100
+    (QCheck.make random_spd)
+    (fun (n, edges, anchors) ->
+      let b = Csr.builder n in
+      List.iter (fun (i, j, w) -> if i <> j then Csr.add_spring b i j w) edges;
+      List.iteri (fun i w -> Csr.add_diag b i w) anchors;
+      let a = Csr.freeze b in
+      let rng = Fbp_util.Rng.create (n * 7919) in
+      let rhs = Array.init n (fun _ -> Fbp_util.Rng.range rng (-5.0) 5.0) in
+      let x = Vec.create n in
+      let st = Cg.solve ~tol:1e-9 a rhs x in
+      (* verify the residual independently *)
+      let ax = Vec.create n in
+      Csr.mul a x ax;
+      let r = Vec.create n in
+      Vec.sub rhs ax r;
+      st.Cg.converged && Vec.norm2 r /. Float.max 1.0 (Vec.norm2 rhs) < 1e-6)
+
+let prop_csr_mul_matches_dense =
+  QCheck.Test.make ~name:"csr mul matches dense multiply" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 1 8 >>= fun n ->
+         list_size (int_range 0 30)
+           (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (float_range (-3.0) 3.0))
+         >>= fun ts -> return (n, ts)))
+    (fun (n, triplets) ->
+      let b = Csr.builder n in
+      let dense = Array.make_matrix n n 0.0 in
+      List.iter
+        (fun (i, j, v) ->
+          Csr.add b ~row:i ~col:j v;
+          dense.(i).(j) <- dense.(i).(j) +. v)
+        triplets;
+      let a = Csr.freeze b in
+      let x = Array.init n (fun i -> float_of_int (i + 1)) in
+      let out = Vec.create n in
+      Csr.mul a x out;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for j = 0 to n - 1 do
+          acc := !acc +. (dense.(i).(j) *. x.(j))
+        done;
+        if Float.abs (!acc -. out.(i)) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "vec ops" `Quick test_vec_ops;
+    Alcotest.test_case "csr accumulates duplicates" `Quick test_csr_assembly_accumulates;
+    Alcotest.test_case "csr mul" `Quick test_csr_mul;
+    Alcotest.test_case "csr springs symmetric" `Quick test_csr_spring_symmetric;
+    Alcotest.test_case "cg identity" `Quick test_cg_identity;
+    Alcotest.test_case "cg small spd" `Quick test_cg_small_spd;
+    qcheck prop_cg_solves_spd;
+    qcheck prop_csr_mul_matches_dense;
+  ]

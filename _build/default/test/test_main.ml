@@ -1,0 +1,17 @@
+(* Aggregates every suite; `dune runtest` executes them all. *)
+let () =
+  Alcotest.run "fbp"
+    [
+      ("util", Test_util.suite);
+      ("geometry", Test_geometry.suite);
+      ("flow", Test_flow.suite);
+      ("netlist", Test_netlist.suite);
+      ("linalg", Test_linalg.suite);
+      ("movebound", Test_movebound.suite);
+      ("core", Test_core.suite);
+      ("legalize", Test_legalize.suite);
+      ("repartition", Test_repartition.suite);
+      ("baselines", Test_baselines.suite);
+      ("workloads", Test_workloads.suite);
+      ("viz", Test_viz.suite);
+    ]

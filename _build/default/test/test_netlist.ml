@@ -1,0 +1,328 @@
+(* Tests for fbp_netlist: structure validation, HPWL, the synthetic design
+   generator's invariants, and Bookshelf round-trips. *)
+
+open Fbp_netlist
+open Fbp_geometry
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* A tiny 3-cell, 2-net fixture. *)
+let tiny () =
+  let nets =
+    [|
+      { Netlist.weight = 1.0;
+        pins = [| { Netlist.cell = 0; dx = 0.0; dy = 0.0 };
+                  { Netlist.cell = 1; dx = 0.0; dy = 0.0 } |] };
+      { Netlist.weight = 2.0;
+        pins = [| { Netlist.cell = 1; dx = 0.5; dy = 0.0 };
+                  { Netlist.cell = 2; dx = 0.0; dy = 0.0 };
+                  { Netlist.cell = -1; dx = 10.0; dy = 10.0 } |] };
+    |]
+  in
+  {
+    Netlist.n_cells = 3;
+    names = [| "a"; "b"; "c" |];
+    widths = [| 1.0; 2.0; 1.0 |];
+    heights = [| 1.0; 1.0; 1.0 |];
+    fixed = [| false; false; false |];
+    movebound = [| -1; -1; -1 |];
+    nets;
+  }
+
+let test_netlist_basics () =
+  let nl = tiny () in
+  Alcotest.(check int) "cells" 3 (Netlist.n_cells nl);
+  Alcotest.(check int) "nets" 2 (Netlist.n_nets nl);
+  Alcotest.(check int) "pins" 5 (Netlist.n_pins nl);
+  check_float "size" 2.0 (Netlist.size nl 1);
+  check_float "movable area" 4.0 (Netlist.total_movable_area nl);
+  (match Netlist.validate nl with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  let incident = Netlist.cell_nets nl in
+  Alcotest.(check int) "cell 1 on two nets" 2 (List.length incident.(1));
+  Alcotest.(check int) "cell 0 on one net" 1 (List.length incident.(0))
+
+let test_netlist_validate_rejects () =
+  let nl = tiny () in
+  let bad = { nl with Netlist.widths = [| 1.0; -1.0; 1.0 |] } in
+  (match Netlist.validate bad with
+   | Ok () -> Alcotest.fail "negative width accepted"
+   | Error _ -> ());
+  let bad_pin =
+    { nl with
+      Netlist.nets =
+        [| { Netlist.weight = 1.0; pins = [| { Netlist.cell = 99; dx = 0.0; dy = 0.0 } |] } |] }
+  in
+  match Netlist.validate bad_pin with
+  | Ok () -> Alcotest.fail "dangling pin accepted"
+  | Error _ -> ()
+
+let test_hpwl () =
+  let nl = tiny () in
+  let p = Placement.create 3 in
+  Placement.set p 0 (Point.make 0.0 0.0);
+  Placement.set p 1 (Point.make 3.0 4.0);
+  Placement.set p 2 (Point.make 5.0 1.0);
+  (* net 0: bbox (0,0)-(3,4): 7. net 1: pins (3.5,4),(5,1),(10,10):
+     bbox width 6.5 height 9 -> 15.5, weight 2 -> 31 *)
+  check_float "net0" 7.0 (Hpwl.of_net nl p nl.Netlist.nets.(0));
+  check_float "net1" 31.0 (Hpwl.of_net nl p nl.Netlist.nets.(1));
+  check_float "total" 38.0 (Hpwl.total nl p);
+  check_float "millions" 38e-6 (Hpwl.total_millions nl p)
+
+let test_hpwl_single_pin_net () =
+  let nl =
+    { (tiny ()) with
+      Netlist.nets = [| { Netlist.weight = 1.0; pins = [| { Netlist.cell = 0; dx = 0.0; dy = 0.0 } |] } |] }
+  in
+  let p = Placement.create 3 in
+  check_float "degenerate net is free" 0.0 (Hpwl.total nl p)
+
+let test_placement_helpers () =
+  let nl = tiny () in
+  let a = Placement.create 3 and b = Placement.create 3 in
+  Placement.set b 0 (Point.make 1.0 1.0);
+  check_float "avg displacement" (2.0 /. 3.0) (Placement.avg_displacement a b);
+  check_float "max displacement" 2.0 (Placement.max_displacement a b);
+  let r = Placement.cell_rect nl b 0 in
+  check_float "cell rect centered" 0.5 r.Rect.x0;
+  (match Placement.center_of_gravity nl b [ 0; 1 ] with
+   | None -> Alcotest.fail "expected cog"
+   | Some c ->
+     (* masses 1 at (1,1) and 2 at (0,0) *)
+     check_float "cog x" (1.0 /. 3.0) c.Point.x);
+  Alcotest.(check bool) "cog of empty" true
+    (Placement.center_of_gravity nl b [] = None)
+
+(* ---------- Generator ---------- *)
+
+let test_generator_deterministic () =
+  let d1 = Generator.quick ~seed:5 500 and d2 = Generator.quick ~seed:5 500 in
+  Alcotest.(check (array (float 0.0))) "same golden x"
+    d1.Design.initial.Placement.x d2.Design.initial.Placement.x;
+  Alcotest.(check int) "same net count"
+    (Netlist.n_nets d1.Design.netlist) (Netlist.n_nets d2.Design.netlist)
+
+let test_generator_valid_design () =
+  let d = Generator.quick ~seed:2 800 in
+  (match Design.validate d with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "whitespace >= 1" true (Design.whitespace_ratio d >= 1.0);
+  (* golden placement inside chip *)
+  let nl = d.Design.netlist in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    let r = Placement.cell_rect nl d.Design.initial c in
+    if not (Rect.contains d.Design.chip r) then
+      Alcotest.failf "cell %d outside chip: %s" c (Rect.to_string r)
+  done
+
+let test_generator_net_structure () =
+  let d = Generator.quick ~seed:3 1000 in
+  let nl = d.Design.netlist in
+  Alcotest.(check bool) "has nets" true (Netlist.n_nets nl > 500);
+  (* all nets connect at least 2 distinct endpoints *)
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let distinct =
+        List.sort_uniq compare
+          (Array.to_list (Array.map (fun p -> p.Netlist.cell) net.Netlist.pins))
+      in
+      Alcotest.(check bool) "net nondegenerate" true (List.length distinct >= 2))
+    nl.Netlist.nets;
+  (* average degree in a sane band *)
+  let avg = float_of_int (Netlist.n_pins nl) /. float_of_int (Netlist.n_nets nl) in
+  Alcotest.(check bool) "avg degree in [2,6]" true (avg >= 2.0 && avg <= 6.0)
+
+let test_generator_macros_disjoint () =
+  let d =
+    Generator.generate
+      { Generator.default_params with n_cells = 600; n_macros = 4; seed = 11 }
+  in
+  let rec pairs = function
+    | [] -> ()
+    | m :: rest ->
+      List.iter
+        (fun m' -> Alcotest.(check bool) "macros disjoint" false (Rect.overlaps m m'))
+        rest;
+      pairs rest
+  in
+  pairs d.Design.blockages;
+  List.iter
+    (fun m -> Alcotest.(check bool) "macro inside chip" true (Rect.contains d.Design.chip m))
+    d.Design.blockages
+
+let test_generator_golden_hpwl_beats_random () =
+  (* The golden placement must be substantially better than a random shuffle
+     of the same positions — otherwise the netlist carries no locality and
+     placement quality comparisons would be meaningless. *)
+  let d = Generator.quick ~seed:4 1500 in
+  let nl = d.Design.netlist in
+  let golden = Hpwl.total nl d.Design.initial in
+  let shuffled = Placement.copy d.Design.initial in
+  let rng = Fbp_util.Rng.create 99 in
+  let perm = Array.init (Netlist.n_cells nl) (fun i -> i) in
+  Fbp_util.Rng.shuffle rng perm;
+  let px = Array.copy shuffled.Placement.x and py = Array.copy shuffled.Placement.y in
+  Array.iteri
+    (fun i j ->
+      shuffled.Placement.x.(i) <- px.(j);
+      shuffled.Placement.y.(i) <- py.(j))
+    perm;
+  let random = Hpwl.total nl shuffled in
+  Alcotest.(check bool)
+    (Printf.sprintf "golden (%.0f) < 0.6 * random (%.0f)" golden random)
+    true
+    (golden < 0.6 *. random)
+
+(* ---------- Clustering (BestChoice) ---------- *)
+
+let test_clustering_ratio () =
+  let d = Generator.quick ~seed:41 ~name:"clu" 1000 in
+  let cl = Clustering.best_choice ~ratio:5.0 d.Design.netlist in
+  let nc = Netlist.n_cells cl.Clustering.coarse in
+  Alcotest.(check bool)
+    (Printf.sprintf "coarse cells %d near n/5" nc)
+    true
+    (nc >= 180 && nc <= 400);
+  (* area conserved *)
+  Alcotest.(check (float 1e-3)) "area conserved"
+    (Netlist.total_movable_area d.Design.netlist
+    +. (* fixed cells keep area too *)
+    (let acc = ref 0.0 in
+     for c = 0 to Netlist.n_cells d.Design.netlist - 1 do
+       if d.Design.netlist.Netlist.fixed.(c) then
+         acc := !acc +. Netlist.size d.Design.netlist c
+     done;
+     !acc))
+    (let acc = ref 0.0 in
+     for g = 0 to nc - 1 do
+       acc := !acc +. Netlist.size cl.Clustering.coarse g
+     done;
+     !acc);
+  (* partition: every original cell in exactly one cluster *)
+  let seen = Array.make (Netlist.n_cells d.Design.netlist) false in
+  Array.iter
+    (List.iter (fun c ->
+         Alcotest.(check bool) "member unique" false seen.(c);
+         seen.(c) <- true))
+    cl.Clustering.members;
+  Alcotest.(check bool) "all cells covered" true (Array.for_all (fun b -> b) seen);
+  (match Netlist.validate cl.Clustering.coarse with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e)
+
+let test_clustering_fixed_not_merged () =
+  let d =
+    Generator.generate
+      { Generator.default_params with n_cells = 400; n_macros = 3; seed = 42 }
+  in
+  (* mark some cells fixed *)
+  let nl = d.Design.netlist in
+  for c = 0 to 9 do
+    nl.Netlist.fixed.(c) <- true
+  done;
+  let cl = Clustering.best_choice ~ratio:4.0 nl in
+  for c = 0 to 9 do
+    let g = cl.Clustering.cluster_of.(c) in
+    Alcotest.(check int) "fixed cell alone in its cluster" 1
+      (List.length cl.Clustering.members.(g))
+  done
+
+let test_clustering_roundtrip_positions () =
+  let d = Generator.quick ~seed:43 ~name:"clu2" 600 in
+  let cl = Clustering.best_choice ~ratio:3.0 d.Design.netlist in
+  let coarse_pos = Clustering.coarse_placement cl d.Design.netlist d.Design.initial in
+  let out = Placement.create (Netlist.n_cells d.Design.netlist) in
+  Clustering.expand cl coarse_pos out;
+  (* every member sits at its cluster position *)
+  Array.iteri
+    (fun c g ->
+      Alcotest.(check (float 1e-9)) "x" coarse_pos.Placement.x.(g) out.Placement.x.(c))
+    cl.Clustering.cluster_of
+
+let test_clustering_coarse_hpwl_sane () =
+  (* clustering must not blow HPWL up: the coarse netlist under the coarse
+     placement should cost no more than the flat netlist *)
+  let d = Generator.quick ~seed:44 ~name:"clu3" 1200 in
+  let cl = Clustering.best_choice ~ratio:5.0 d.Design.netlist in
+  let coarse_pos = Clustering.coarse_placement cl d.Design.netlist d.Design.initial in
+  let flat = Hpwl.total d.Design.netlist d.Design.initial in
+  let coarse = Hpwl.total cl.Clustering.coarse coarse_pos in
+  Alcotest.(check bool)
+    (Printf.sprintf "coarse %.0f <= flat %.0f" coarse flat)
+    true (coarse <= flat +. 1e-6)
+
+(* ---------- Bookshelf ---------- *)
+
+let test_bookshelf_roundtrip () =
+  let d = Generator.quick ~seed:7 120 in
+  let path = Filename.temp_file "fbp" ".book" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bookshelf.write_file path d;
+      let d' = Bookshelf.read_file path in
+      let nl = d.Design.netlist and nl' = d'.Design.netlist in
+      Alcotest.(check int) "cells" (Netlist.n_cells nl) (Netlist.n_cells nl');
+      Alcotest.(check int) "nets" (Netlist.n_nets nl) (Netlist.n_nets nl');
+      Alcotest.(check int) "pins" (Netlist.n_pins nl) (Netlist.n_pins nl');
+      Alcotest.(check (array string)) "names" nl.Netlist.names nl'.Netlist.names;
+      check_float "same HPWL under initial placement"
+        (Hpwl.total nl d.Design.initial)
+        (Hpwl.total nl' d'.Design.initial);
+      check_float "chip width" (Rect.width d.Design.chip) (Rect.width d'.Design.chip);
+      Alcotest.(check int) "blockages" (List.length d.Design.blockages)
+        (List.length d'.Design.blockages))
+
+let prop_bookshelf_roundtrip_random =
+  QCheck.Test.make ~name:"bookshelf roundtrip over random designs" ~count:15
+    QCheck.(pair (int_range 50 250) (int_range 1 1000))
+    (fun (n, seed) ->
+      let d = Generator.quick ~seed ~name:"fuzz" n in
+      let path = Filename.temp_file "fbpfuzz" ".book" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Bookshelf.write_file path d;
+          let d' = Bookshelf.read_file path in
+          Netlist.n_cells d.Design.netlist = Netlist.n_cells d'.Design.netlist
+          && Netlist.n_pins d.Design.netlist = Netlist.n_pins d'.Design.netlist
+          && Float.abs
+               (Hpwl.total d.Design.netlist d.Design.initial
+               -. Hpwl.total d'.Design.netlist d'.Design.initial)
+             < 1e-6
+          && d.Design.target_density = d'.Design.target_density))
+
+let test_bookshelf_rejects_garbage () =
+  let path = Filename.temp_file "fbp" ".book" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "chip 0 0 10 10\nfrobnicate 1 2 3\n";
+      close_out oc;
+      match Bookshelf.read_file path with
+      | exception Bookshelf.Parse_error (2, _) -> ()
+      | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "garbage accepted")
+
+let suite =
+  [
+    Alcotest.test_case "netlist basics" `Quick test_netlist_basics;
+    Alcotest.test_case "netlist validation rejects" `Quick test_netlist_validate_rejects;
+    Alcotest.test_case "hpwl known values" `Quick test_hpwl;
+    Alcotest.test_case "hpwl single-pin net" `Quick test_hpwl_single_pin_net;
+    Alcotest.test_case "placement helpers" `Quick test_placement_helpers;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator valid design" `Quick test_generator_valid_design;
+    Alcotest.test_case "generator net structure" `Quick test_generator_net_structure;
+    Alcotest.test_case "generator macros disjoint" `Quick test_generator_macros_disjoint;
+    Alcotest.test_case "golden beats random" `Quick test_generator_golden_hpwl_beats_random;
+    Alcotest.test_case "bookshelf roundtrip" `Quick test_bookshelf_roundtrip;
+    Alcotest.test_case "clustering ratio + partition" `Quick test_clustering_ratio;
+    Alcotest.test_case "clustering keeps fixed cells" `Quick test_clustering_fixed_not_merged;
+    Alcotest.test_case "clustering expand roundtrip" `Quick test_clustering_roundtrip_positions;
+    Alcotest.test_case "clustering coarse hpwl sane" `Quick test_clustering_coarse_hpwl_sane;
+    QCheck_alcotest.to_alcotest prop_bookshelf_roundtrip_random;
+    Alcotest.test_case "bookshelf rejects garbage" `Quick test_bookshelf_rejects_garbage;
+  ]

@@ -1,0 +1,107 @@
+(* Tests for the repartitioning (reflow) post-pass extension. *)
+
+open Fbp_netlist
+
+let run_placer n seed =
+  let d = Generator.quick ~seed ~name:"reflow" n in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  match Fbp_core.Placer.place inst with
+  | Error e -> Alcotest.fail e
+  | Ok rep -> (d, inst, rep)
+
+let test_sweep_improves_or_preserves_hpwl () =
+  let _, inst, rep = run_placer 2000 81 in
+  let stats = Fbp_core.Repartition.refine ~sweeps:1 Fbp_core.Config.default inst rep in
+  match stats with
+  | [ s ] ->
+    Alcotest.(check bool) "blocks visited" true (s.Fbp_core.Repartition.n_blocks > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "hpwl %.0f -> %.0f not much worse" s.Fbp_core.Repartition.hpwl_before
+         s.Fbp_core.Repartition.hpwl_after)
+      true
+      (s.Fbp_core.Repartition.hpwl_after <= s.Fbp_core.Repartition.hpwl_before *. 1.02)
+  | _ -> Alcotest.fail "expected one sweep"
+
+let test_sweep_respects_capacities_and_admissibility () =
+  let d = Generator.quick ~seed:82 ~name:"reflow2" 2000 in
+  let chip = d.Design.chip in
+  let w = Fbp_geometry.Rect.width chip and h = Fbp_geometry.Rect.height chip in
+  let island =
+    Fbp_geometry.Rect.make ~x0:(0.1 *. w) ~y0:(0.1 *. h) ~x1:(0.5 *. w) ~y1:(0.5 *. h)
+  in
+  let nl = d.Design.netlist in
+  let rng = Fbp_util.Rng.create 83 in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    if Fbp_util.Rng.float rng < 0.1 then nl.Netlist.movebound.(c) <- 0
+  done;
+  let inst =
+    { Fbp_movebound.Instance.design = d;
+      movebounds =
+        [| Fbp_movebound.Movebound.make ~id:0 ~name:"isl"
+             ~kind:Fbp_movebound.Movebound.Inclusive [ island ] |] }
+  in
+  match Fbp_core.Placer.place inst with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+    let inst_n =
+      match Fbp_movebound.Instance.normalize inst with Ok i -> i | Error e -> Alcotest.fail e
+    in
+    ignore (Fbp_core.Repartition.refine ~sweeps:2 Fbp_core.Config.default inst_n rep);
+    let grid = Option.get rep.Fbp_core.Placer.final_grid in
+    (* every constrained cell still assigned to an admissible piece *)
+    for c = 0 to Netlist.n_cells nl - 1 do
+      if nl.Netlist.movebound.(c) = 0 && not nl.Netlist.fixed.(c) then begin
+        let pid = rep.Fbp_core.Placer.piece_of_cell.(c) in
+        Alcotest.(check bool) "assigned" true (pid >= 0);
+        let region =
+          rep.Fbp_core.Placer.regions.Fbp_movebound.Regions.regions.(grid.Fbp_core.Grid.pieces.(pid).Fbp_core.Grid.region)
+        in
+        if not (Fbp_movebound.Regions.admissible region ~mb:0) then
+          Alcotest.failf "cell %d repartitioned to inadmissible piece" c
+      end
+    done;
+    (* piece loads stay within capacity + one-cell slack *)
+    let load = Array.make (Fbp_core.Grid.n_pieces grid) 0.0 in
+    for c = 0 to Netlist.n_cells nl - 1 do
+      let pid = rep.Fbp_core.Placer.piece_of_cell.(c) in
+      if pid >= 0 then load.(pid) <- load.(pid) +. Netlist.size nl c
+    done;
+    let max_cell = Array.fold_left Float.max 0.0 nl.Netlist.widths in
+    Array.iter
+      (fun (p : Fbp_core.Grid.piece) ->
+        if load.(p.Fbp_core.Grid.id) > p.Fbp_core.Grid.capacity +. (2.0 *. max_cell) then
+          Alcotest.failf "piece %d overfull after reflow" p.Fbp_core.Grid.id)
+      grid.Fbp_core.Grid.pieces
+
+let test_refine_without_grid_is_noop () =
+  let _, inst, rep = run_placer 1500 84 in
+  let rep' = { rep with Fbp_core.Placer.final_grid = None } in
+  Alcotest.(check int) "no sweeps" 0
+    (List.length (Fbp_core.Repartition.refine Fbp_core.Config.default inst rep'))
+
+let test_runner_reflow_ablation () =
+  (* reflow on vs off: on must not be worse (it is designed to help) *)
+  let d = Generator.quick ~seed:85 ~name:"reflow3" 2500 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  match
+    (Fbp_workloads.Runner.run_fbp ~repartition:0 inst,
+     Fbp_workloads.Runner.run_fbp ~repartition:1 inst)
+  with
+  | Ok off, Ok on ->
+    Alcotest.(check bool)
+      (Printf.sprintf "reflow %.0f <= no-reflow %.0f * 1.02" on.Fbp_workloads.Runner.hpwl
+         off.Fbp_workloads.Runner.hpwl)
+      true
+      (on.Fbp_workloads.Runner.hpwl <= off.Fbp_workloads.Runner.hpwl *. 1.02);
+    Alcotest.(check bool) "both legal" true
+      (on.Fbp_workloads.Runner.legal && off.Fbp_workloads.Runner.legal)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "sweep preserves/improves hpwl" `Quick test_sweep_improves_or_preserves_hpwl;
+    Alcotest.test_case "sweep respects movebounds + capacities" `Slow
+      test_sweep_respects_capacities_and_admissibility;
+    Alcotest.test_case "refine without grid no-op" `Quick test_refine_without_grid_is_noop;
+    Alcotest.test_case "runner reflow ablation" `Slow test_runner_reflow_ablation;
+  ]

@@ -1,0 +1,80 @@
+(* Tests for fbp_viz: well-formedness of the generated SVGs. *)
+
+open Fbp_geometry
+open Fbp_viz
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let count_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub s i m = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  if m = 0 then 0 else go 0 0
+
+let test_svg_basics () =
+  let svg = Svg.create ~width:10.0 ~height:8.0 in
+  Svg.rect svg (Rect.make ~x0:1.0 ~y0:1.0 ~x1:3.0 ~y1:2.0) ~fill:"#ff0000" ();
+  Svg.line svg ~x1:0.0 ~y1:0.0 ~x2:5.0 ~y2:5.0 ~stroke:"#000" ();
+  Svg.circle svg ~cx:2.0 ~cy:2.0 ~r:0.5 ~fill:"#00ff00" ();
+  Svg.text svg ~x:1.0 ~y:1.0 ~size:0.5 "hello";
+  let s = Svg.to_string svg in
+  Alcotest.(check bool) "opens svg" true (contains_sub s "<svg");
+  Alcotest.(check bool) "closes svg" true (contains_sub s "</svg>");
+  Alcotest.(check bool) "rect present" true (contains_sub s "<rect");
+  Alcotest.(check bool) "text present" true (contains_sub s "hello");
+  (* y axis flipped: rect y1=2 maps to 8-2=6 *)
+  Alcotest.(check bool) "y flip applied" true (contains_sub s "y=\"6\"")
+
+let test_svg_colors_cycle () =
+  Alcotest.(check string) "color 0 stable" (Svg.color 0) (Svg.color 10);
+  Alcotest.(check bool) "distinct adjacent colors" true (Svg.color 0 <> Svg.color 1)
+
+let test_placement_plot () =
+  let d = Fbp_netlist.Generator.quick ~seed:61 ~name:"viz" 200 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  let svg = Draw.placement inst d.Fbp_netlist.Design.initial in
+  let s = Svg.to_string svg in
+  (* one rect per movable cell plus the chip frame and blockages *)
+  Alcotest.(check bool) "at least n_cells rects" true (count_sub s "<rect" >= 200)
+
+let test_fig1_renders () =
+  let chip = Rect.make ~x0:0.0 ~y0:0.0 ~x1:16.0 ~y1:12.0 in
+  let mbs =
+    [| Fbp_movebound.Movebound.make ~id:0 ~name:"N" ~kind:Fbp_movebound.Movebound.Exclusive
+         [ Rect.make ~x0:1.0 ~y0:7.0 ~x1:5.0 ~y1:11.0 ];
+       Fbp_movebound.Movebound.make ~id:1 ~name:"M" ~kind:Fbp_movebound.Movebound.Inclusive
+         [ Rect.make ~x0:6.0 ~y0:1.0 ~x1:15.0 ~y1:8.0 ] |]
+  in
+  let s = Svg.to_string (Draw.fig1_movebounds chip mbs) in
+  Alcotest.(check bool) "labels present" true (contains_sub s ">N<");
+  let regions = Fbp_movebound.Regions.decompose ~chip mbs in
+  let s2 = Svg.to_string (Draw.fig1_regions chip regions) in
+  Alcotest.(check bool) "region labels" true (contains_sub s2 ">r0<")
+
+let test_flow_model_figure () =
+  let d = Fbp_netlist.Generator.quick ~seed:62 ~name:"vizflow" 300 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  let regions = Fbp_movebound.Regions.decompose ~chip:d.Fbp_netlist.Design.chip [||] in
+  let density = Fbp_core.Density.create d in
+  let grid =
+    Fbp_core.Grid.create ~chip:d.Fbp_netlist.Design.chip ~nx:2 ~ny:2 ~regions ~density ()
+  in
+  let model = Fbp_core.Fbp_model.build inst regions grid d.Fbp_netlist.Design.initial in
+  let s = Svg.to_string (Draw.flow_model model) in
+  Alcotest.(check bool) "has lines (arcs)" true (count_sub s "<line" > 10);
+  Alcotest.(check bool) "has circles (nodes)" true (count_sub s "<circle" > 4)
+
+let suite =
+  [
+    Alcotest.test_case "svg basics" `Quick test_svg_basics;
+    Alcotest.test_case "svg palette" `Quick test_svg_colors_cycle;
+    Alcotest.test_case "placement plot" `Quick test_placement_plot;
+    Alcotest.test_case "figure 1 renders" `Quick test_fig1_renders;
+    Alcotest.test_case "flow model figure" `Quick test_flow_model_figure;
+  ]
