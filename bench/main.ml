@@ -31,7 +31,7 @@ let ablation_table () =
   let inst = Fbp_movebound.Instance.unconstrained d in
   let run name config notes =
     match Fbp_workloads.Runner.run_fbp ~config inst with
-    | Error e -> Fbp_util.Table.add_row t [ name; "error: " ^ e; "-"; notes ]
+    | Error e -> Fbp_util.Table.add_row t [ name; "error: " ^ Fbp_resilience.Fbp_error.to_string e; "-"; notes ]
     | Ok m ->
       Fbp_util.Table.add_row t
         [
@@ -63,7 +63,7 @@ let ablation_table () =
          Fbp_netlist.Clustering.coarse_placement cl nl d.Fbp_netlist.Design.initial }
    in
    match Fbp_core.Placer.place (Fbp_movebound.Instance.unconstrained coarse_design) with
-   | Error e -> Fbp_util.Table.add_row t [ "fbp + BestChoice r=5"; "error: " ^ e; "-"; "" ]
+   | Error e -> Fbp_util.Table.add_row t [ "fbp + BestChoice r=5"; "error: " ^ Fbp_resilience.Fbp_error.to_string e; "-"; "" ]
    | Ok coarse_rep ->
      let expanded = Fbp_netlist.Placement.create (Fbp_netlist.Netlist.n_cells nl) in
      Fbp_netlist.Clustering.expand cl coarse_rep.Fbp_core.Placer.placement expanded;
@@ -71,7 +71,7 @@ let ablation_table () =
      (match Fbp_workloads.Runner.run_fbp
               (Fbp_movebound.Instance.unconstrained flat_design) with
       | Error e ->
-        Fbp_util.Table.add_row t [ "fbp + BestChoice r=5"; "error: " ^ e; "-"; "" ]
+        Fbp_util.Table.add_row t [ "fbp + BestChoice r=5"; "error: " ^ Fbp_resilience.Fbp_error.to_string e; "-"; "" ]
       | Ok m ->
         Fbp_util.Table.add_row t
           [
@@ -83,7 +83,7 @@ let ablation_table () =
           ]));
   (* Brenner-Vygen-style flow legalizer vs the default Tetris/interval one *)
   (match Fbp_core.Placer.place inst with
-   | Error e -> Fbp_util.Table.add_row t [ "fbp + flow legalizer"; "error: " ^ e; "-"; "" ]
+   | Error e -> Fbp_util.Table.add_row t [ "fbp + flow legalizer"; "error: " ^ Fbp_resilience.Fbp_error.to_string e; "-"; "" ]
    | Ok rep ->
      let t0 = Unix.gettimeofday () in
      let pos = Fbp_netlist.Placement.copy rep.Fbp_core.Placer.placement in
@@ -124,7 +124,7 @@ let parallel_table () =
   let inst = Fbp_movebound.Instance.unconstrained d in
   let run domains =
     match Fbp_core.Placer.place ~config:{ Fbp_core.Config.default with domains } inst with
-    | Error e -> failwith e
+    | Error e -> failwith (Fbp_resilience.Fbp_error.to_string e)
     | Ok rep ->
       let rt =
         List.fold_left

@@ -4,15 +4,21 @@
      fbp_place generate --cells 5000 -o design.book
      fbp_place check design.book
      fbp_place place design.book --tool fbp --svg out.svg
-     fbp_place tables --table 2 --quick *)
+     fbp_place place design.book --deadline 30 --strict
+     fbp_place tables --table 2 --quick
+
+   Failures exit with the typed error's class code (see
+   Fbp_resilience.Fbp_error.exit_code): infeasible/capacity 2, parse 3,
+   deadline 4, invalid input 5, CG divergence 6, internal 7. *)
 
 open Cmdliner
+module Err = Fbp_resilience.Fbp_error
 
-let read_design path =
-  try Ok (Fbp_netlist.Bookshelf.read_file path) with
-  | Fbp_netlist.Bookshelf.Parse_error (line, msg) ->
-    Error (Printf.sprintf "%s:%d: %s" path line msg)
-  | Sys_error e -> Error e
+let read_design path = Fbp_netlist.Bookshelf.read_file_result path
+
+let fail_typed e =
+  prerr_endline (Err.to_string e);
+  Err.exit_code e
 
 (* movebounds are carried in the bookshelf cell column; rebuild rectangles
    as the bounding boxes of each class's cells is lossy, so the CLI only
@@ -62,20 +68,20 @@ let check_cmd =
   in
   let run input movebounds =
     match read_design input with
-    | Error e -> prerr_endline e; 1
+    | Error e -> fail_typed e
     | Ok d ->
       let inst = instance_of d ~movebounds in
       (match Fbp_movebound.Feasibility.check_instance inst with
-       | Error e -> prerr_endline e; 1
+       | Error e -> fail_typed (Err.Invalid_input e)
        | Ok (Fbp_movebound.Feasibility.Feasible, regions) ->
          Printf.printf "feasible (%d maximal regions, %d movebounds)\n"
            (Fbp_movebound.Regions.n_regions regions)
            (Fbp_movebound.Instance.n_movebounds inst);
          0
        | Ok (Fbp_movebound.Feasibility.Infeasible { classes; demand; capacity }, _) ->
-         Printf.printf "INFEASIBLE: classes [%s] demand %.1f > capacity %.1f\n"
-           (String.concat ";" (List.map string_of_int classes)) demand capacity;
-         2)
+         let e = Err.Capacity_overflow { demand; capacity; classes } in
+         Printf.printf "INFEASIBLE: %s\n" (Err.to_string e);
+         Err.exit_code e)
   in
   Cmd.v (Cmd.info "check" ~doc:"Movebound feasibility check (Theorems 1-2).")
     Term.(const run $ input $ movebounds)
@@ -95,21 +101,33 @@ let place_cmd =
     Arg.(value & opt int 1 & info [ "domains"; "j" ] ~doc:"Parallel domains (FBP).")
   in
   let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~doc:"Plot output.") in
-  let run input tool movebounds domains svg =
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ]
+           ~doc:"Wall-clock budget in seconds for global placement; on \
+                 timeout the last-good per-level checkpoint is returned.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+           ~doc:"Fail with a typed error instead of degrading gracefully \
+                 (reports Theorem 3 infeasibility certificates as errors).")
+  in
+  let run input tool movebounds domains svg deadline strict =
     match read_design input with
-    | Error e -> prerr_endline e; 1
+    | Error e -> fail_typed e
     | Ok d ->
       let inst = instance_of d ~movebounds in
       let result =
         match tool with
         | `Fbp ->
           Fbp_workloads.Runner.run_fbp
-            ~config:{ Fbp_core.Config.default with domains } inst
+            ~config:{ Fbp_core.Config.default with domains; deadline; strict } inst
         | `Rql -> Fbp_workloads.Runner.run_rql inst
         | `Kw -> Fbp_workloads.Runner.run_kraftwerk inst
       in
       (match result with
-       | Error e -> prerr_endline e; 1
+       | Error e -> fail_typed e
        | Ok m ->
          Printf.printf "%s: HPWL %.6e  time %.2fs (global %.2fs + legalize %.2fs)\n"
            m.Fbp_workloads.Runner.tool m.Fbp_workloads.Runner.hpwl
@@ -117,6 +135,10 @@ let place_cmd =
            m.Fbp_workloads.Runner.legalize_time;
          Printf.printf "legal=%b movebound-violations=%d\n" m.Fbp_workloads.Runner.legal
            m.Fbp_workloads.Runner.violations;
+         List.iter
+           (fun dg ->
+             Printf.printf "degraded: %s\n" (Fbp_core.Placer.degradation_to_string dg))
+           m.Fbp_workloads.Runner.degradations;
          (match svg with
           | Some path ->
             let inst_n =
@@ -129,7 +151,7 @@ let place_cmd =
          0)
   in
   Cmd.v (Cmd.info "place" ~doc:"Place a design.")
-    Term.(const run $ input $ tool $ movebounds $ domains $ svg)
+    Term.(const run $ input $ tool $ movebounds $ domains $ svg $ deadline $ strict)
 
 (* -------------------------------------------------------------- tables *)
 

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repo health check: full build, test suite, and (when ocamlformat is
+# available) the formatting gate.  Run before every push.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed)"
+fi
+
+echo "OK"

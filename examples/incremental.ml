@@ -15,7 +15,7 @@ open Fbp_netlist
 
 let place_and_legalize inst =
   match Fbp_core.Placer.place inst with
-  | Error e -> failwith e
+  | Error e -> failwith (Fbp_resilience.Fbp_error.to_string e)
   | Ok report ->
     let pos = report.Fbp_core.Placer.placement in
     ignore

@@ -19,7 +19,7 @@ let () =
   let report =
     match Fbp_core.Placer.place inst with
     | Ok r -> r
-    | Error e -> failwith e
+    | Error e -> failwith (Fbp_resilience.Fbp_error.to_string e)
   in
   Printf.printf "global placement: HPWL %.4e in %.2fs over %d levels\n"
     report.Fbp_core.Placer.hpwl report.Fbp_core.Placer.total_time

@@ -44,5 +44,5 @@ let () =
      Fbp_viz.Svg.write_file "out/soc_rql.svg"
        (Fbp_viz.Draw.placement inst_n r.Fbp_workloads.Runner.placement);
      print_endline "wrote out/soc_fbp.svg and out/soc_rql.svg"
-   | Error e, _ | _, Error e -> failwith e);
+   | Error e, _ | _, Error e -> failwith (Fbp_resilience.Fbp_error.to_string e));
   ignore design.Design.name

@@ -45,7 +45,7 @@ let () =
      exit 1);
 
   match Fbp_core.Placer.place inst with
-  | Error e -> failwith e
+  | Error e -> failwith (Fbp_resilience.Fbp_error.to_string e)
   | Ok report ->
     let pos = report.Fbp_core.Placer.placement in
     let inst_n =

@@ -14,6 +14,8 @@ type t = {
   domains : int;  (* parallel domains for realization (1 = sequential) *)
   local_qp : bool;  (* run the local QP connectivity step in realization *)
   capacity_margin : float;  (* flow capacities derated for legalizability *)
+  deadline : float option;  (* wall-clock budget (s) for global placement *)
+  strict : bool;  (* fail with a typed error instead of degrading *)
   verbose : bool;
 }
 
@@ -30,5 +32,7 @@ let default =
     domains = 1;
     local_qp = true;
     capacity_margin = 0.94;
+    deadline = None;
+    strict = false;
     verbose = false;
   }

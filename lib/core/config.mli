@@ -14,6 +14,14 @@ type t = {
   capacity_margin : float;
       (** flow capacities derated for legalizability; automatic fallback to
           1.0 when the margin makes a movebound class infeasible *)
+  deadline : float option;
+      (** wall-clock budget in seconds for global placement; when it runs
+          out the placer returns the last-good per-level checkpoint (or, in
+          [strict] mode, a typed [Deadline_exceeded] error) *)
+  strict : bool;
+      (** disable graceful degradation: movebound relaxation, bisection
+          fallback, checkpoint returns and CG safeguard failures become
+          typed errors instead *)
   verbose : bool;
 }
 

@@ -99,8 +99,8 @@ let class_range (grid : Grid.t) (area_bbox : Rect.t option) cell_windows =
 let in_range (x0, x1, y0, y1) (win : Grid.window) =
   win.Grid.wx >= x0 && win.Grid.wx <= x1 && win.Grid.wy >= y0 && win.Grid.wy <= y1
 
-let build (inst : Fbp_movebound.Instance.t) (regions : Fbp_movebound.Regions.t)
-    (grid : Grid.t) (pos : Placement.t) =
+let build ?relax_penalty (inst : Fbp_movebound.Instance.t)
+    (regions : Fbp_movebound.Regions.t) (grid : Grid.t) (pos : Placement.t) =
   let nl = inst.Fbp_movebound.Instance.design.Design.netlist in
   let k = Fbp_movebound.Instance.n_movebounds inst in
   let n_classes = k + 1 in
@@ -185,6 +185,14 @@ let build (inst : Fbp_movebound.Instance.t) (regions : Fbp_movebound.Regions.t)
     let mb = if m = k then -1 else m in
     Fbp_movebound.Regions.admissible regions.Fbp_movebound.Regions.regions.(p.Grid.region) ~mb
   in
+  (* Movebound slack relaxation (degradation ladder): with [relax_penalty]
+     set, arcs into inadmissible pieces exist too, at base cost plus the
+     penalty — the flow prefers admissible placements but can always route,
+     so only genuine capacity shortage stays infeasible. *)
+  let piece_cost m (p : Grid.piece) base =
+    if admissible_piece m p then Some base
+    else match relax_penalty with Some pen -> Some (base +. pen) | None -> None
+  in
   (* intra-window edges *)
   Array.iteri
     (fun gi g ->
@@ -192,10 +200,11 @@ let build (inst : Fbp_movebound.Instance.t) (regions : Fbp_movebound.Regions.t)
       List.iter
         (fun pid ->
           let p = grid.Grid.pieces.(pid) in
-          if admissible_piece g.m p then
-            add_arc ~u:gi ~v:(piece_base +  pid)
-              ~cost:(Point.dist_l1 g.cog p.Grid.centroid)
-              (Cell_to_piece { group = gi; piece = pid }))
+          match piece_cost g.m p (Point.dist_l1 g.cog p.Grid.centroid) with
+          | Some cost ->
+            add_arc ~u:gi ~v:(piece_base + pid) ~cost
+              (Cell_to_piece { group = gi; piece = pid })
+          | None -> ())
         grid.Grid.pieces_of_window.(g.w);
       (* E^ct *)
       for dir = 0 to 3 do
@@ -231,10 +240,14 @@ let build (inst : Fbp_movebound.Instance.t) (regions : Fbp_movebound.Regions.t)
           List.iter
             (fun pid ->
               let p = grid.Grid.pieces.(pid) in
-              if admissible_piece m p then
-                add_arc ~u ~v:(piece_base + pid)
-                  ~cost:(Point.dist_l1 (Grid.boundary_point grid w dir) p.Grid.centroid)
-                  (Transit_to_piece { w; m; dir; piece = pid }))
+              match
+                piece_cost m p
+                  (Point.dist_l1 (Grid.boundary_point grid w dir) p.Grid.centroid)
+              with
+              | Some cost ->
+                add_arc ~u ~v:(piece_base + pid) ~cost
+                  (Transit_to_piece { w; m; dir; piece = pid })
+              | None -> ())
             grid.Grid.pieces_of_window.(w)
         done;
         (* E^ext: arcs to 4-neighbours inside the class range (one direction

@@ -51,8 +51,12 @@ type solution = {
   externals : external_flow list;  (** flow-carrying external arcs (a DAG) *)
 }
 
-(** Build the instance from current cell positions. *)
+(** Build the instance from current cell positions.  [relax_penalty] (the
+    degradation ladder's movebound slack relaxation) also adds arcs into
+    inadmissible pieces at base cost plus the penalty, so infeasibility can
+    only come from genuine capacity shortage. *)
 val build :
+  ?relax_penalty:float ->
   Fbp_movebound.Instance.t -> Fbp_movebound.Regions.t -> Grid.t ->
   Fbp_netlist.Placement.t -> t
 

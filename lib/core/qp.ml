@@ -12,6 +12,7 @@ type stats = {
   vars : int;
   cg_iterations : int;
   residual : float;
+  converged : bool;  (* both CG solves (x and y) converged *)
 }
 
 let solve_system (cfg : Config.t) (sys : Netmodel.system) (pos : Placement.t) =
@@ -41,6 +42,7 @@ let solve_system (cfg : Config.t) (sys : Netmodel.system) (pos : Placement.t) =
     vars = nv;
     cg_iterations = sx.Fbp_linalg.Cg.iterations + sy.Fbp_linalg.Cg.iterations;
     residual = Float.max sx.Fbp_linalg.Cg.residual sy.Fbp_linalg.Cg.residual;
+    converged = sx.Fbp_linalg.Cg.converged && sy.Fbp_linalg.Cg.converged;
   }
 
 let all_movable (nl : Netlist.t) =
@@ -63,7 +65,8 @@ let solve_global (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t) ~anchor =
    Only nets touching a movable cell are assembled. *)
 let solve_local (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t)
     ~(cell_nets : int list array) ~(cells : int array) ~anchor =
-  if Array.length cells = 0 then { vars = 0; cg_iterations = 0; residual = 0.0 }
+  if Array.length cells = 0 then
+    { vars = 0; cg_iterations = 0; residual = 0.0; converged = true }
   else begin
     let seen = Hashtbl.create 64 in
     Array.iter

@@ -6,6 +6,7 @@ type stats = {
   vars : int;
   cg_iterations : int;
   residual : float;
+  converged : bool;  (** both CG solves (x and y) converged *)
 }
 
 (** Solve an assembled system, writing cell positions back into the

@@ -20,7 +20,7 @@ type result =
       (** Total supply that cannot reach any deficit node.  By Theorem 3 this
           certifies that no (fractional) placement with movebounds exists. *)
 
-let solve g ~supply =
+let solve_real g ~supply =
   let n = Graph.n_nodes g in
   if Array.length supply <> n then invalid_arg "Mcf.solve: supply length";
   Graph.iter_edges g (fun a ->
@@ -122,6 +122,15 @@ let solve g ~supply =
   done;
   if !unrouted > eps then Infeasible { unrouted = !unrouted }
   else Feasible { cost = !total_cost }
+
+(* Fault-injection shim: tests can force an infeasibility verdict or a
+   domain exception here to exercise the placer's degradation ladder. *)
+let solve g ~supply =
+  match Fbp_resilience.Inject.fire Fbp_resilience.Inject.Mcf with
+  | Some (Fbp_resilience.Inject.Infeasible unrouted) -> Infeasible { unrouted }
+  | Some (Fbp_resilience.Inject.Raise msg) ->
+    raise (Fbp_resilience.Inject.Injected msg)
+  | _ -> solve_real g ~supply
 
 (* Optimality audit used by property tests: a flow is min-cost iff the
    residual network contains no arc with negative reduced cost under some

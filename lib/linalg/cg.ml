@@ -12,11 +12,8 @@ type stats = {
   converged : bool;
 }
 
-let solve ?(max_iter = 0) ?(tol = 1e-7) (a : Csr.t) (b : float array) (x : float array) =
+let solve_real ~max_iter ~tol (a : Csr.t) (b : float array) (x : float array) =
   let n = Csr.dim a in
-  if Array.length b <> n || Array.length x <> n then
-    invalid_arg "Cg.solve: dimension mismatch";
-  let max_iter = if max_iter > 0 then max_iter else max 100 (2 * n) in
   let inv_diag =
     Array.map (fun d -> if Float.abs d > 1e-30 then 1.0 /. d else 1.0) (Csr.diagonal a)
   in
@@ -60,3 +57,18 @@ let solve ?(max_iter = 0) ?(tol = 1e-7) (a : Csr.t) (b : float array) (x : float
   done;
   let residual = Vec.norm2 r /. bnorm in
   { iterations = !iter; residual; converged = residual <= tol *. 10.0 }
+
+(* Fault-injection shim: tests can simulate numerical stagnation (the
+   iterate is left untouched, as after a breakdown-stop) or a domain
+   exception, to exercise the placer's safeguarded-restart path. *)
+let solve ?(max_iter = 0) ?(tol = 1e-7) (a : Csr.t) (b : float array) (x : float array) =
+  let n = Csr.dim a in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Cg.solve: dimension mismatch";
+  let max_iter = if max_iter > 0 then max_iter else max 100 (2 * n) in
+  match Fbp_resilience.Inject.fire Fbp_resilience.Inject.Cg with
+  | Some Fbp_resilience.Inject.Stagnate ->
+    { iterations = max_iter; residual = 1.0; converged = false }
+  | Some (Fbp_resilience.Inject.Raise msg) ->
+    raise (Fbp_resilience.Inject.Injected msg)
+  | _ -> solve_real ~max_iter ~tol a b x

@@ -65,26 +65,45 @@ let read_channel ?(name = "from-file") ic =
   let row_height = ref 1.0 in
   let density = ref 1.0 in
   let cells = ref [] and n_cells = ref 0 in
-  let nets = ref [] in
-  let blockages = ref [] in
+  let nets = ref [] and n_nets = ref None in
+  let blockages = ref [] and n_blockages = ref None in
   let pending_pins = ref 0 in
   let current_net = ref None in
   let lineno = ref 0 in
   let float_of s ln =
     match float_of_string_opt s with
+    | Some f when Float.is_nan f -> parse_failure ln (Printf.sprintf "NaN value %S" s)
+    | Some f when not (Float.is_finite f) ->
+      parse_failure ln (Printf.sprintf "non-finite value %S" s)
     | Some f -> f
     | None -> parse_failure ln (Printf.sprintf "bad number %S" s)
+  in
+  (* cell/blockage dimensions must be usable by the density and flow models *)
+  let dim_of s ln =
+    let f = float_of s ln in
+    if f < 0.0 then parse_failure ln (Printf.sprintf "negative dimension %S" s);
+    f
   in
   let int_of s ln =
     match int_of_string_opt s with
     | Some i -> i
     | None -> parse_failure ln (Printf.sprintf "bad integer %S" s)
   in
+  let count_of s ln =
+    let i = int_of s ln in
+    if i < 0 then parse_failure ln (Printf.sprintf "negative count %S" s);
+    i
+  in
   (try
      while true do
        let line = input_line ic in
        incr lineno;
        let ln = !lineno in
+       (match Fbp_resilience.Inject.fire Fbp_resilience.Inject.Parse with
+        | Some Fbp_resilience.Inject.Corrupt -> parse_failure ln "injected corruption"
+        | Some (Fbp_resilience.Inject.Raise msg) ->
+          raise (Fbp_resilience.Inject.Injected msg)
+        | _ -> ());
        let line =
          match String.index_opt line '#' with
          | Some i -> String.sub line 0 i
@@ -96,18 +115,30 @@ let read_channel ?(name = "from-file") ic =
        match tokens with
        | [] -> ()
        | "chip" :: [ a; b; c; d ] ->
-         chip := Some (Rect.make ~x0:(float_of a ln) ~y0:(float_of b ln)
-                         ~x1:(float_of c ln) ~y1:(float_of d ln))
-       | "rowheight" :: [ h ] -> row_height := float_of h ln
-       | "density" :: [ d ] -> density := float_of d ln
-       | "cells" :: [ n ] -> n_cells := int_of n ln
+         let r = Rect.make ~x0:(float_of a ln) ~y0:(float_of b ln)
+             ~x1:(float_of c ln) ~y1:(float_of d ln) in
+         if r.Rect.x1 <= r.Rect.x0 || r.Rect.y1 <= r.Rect.y0 then
+           parse_failure ln "empty chip rectangle";
+         chip := Some r
+       | "rowheight" :: [ h ] ->
+         let h = float_of h ln in
+         if h <= 0.0 then parse_failure ln "rowheight must be positive";
+         row_height := h
+       | "density" :: [ d ] ->
+         let d = float_of d ln in
+         if d <= 0.0 then parse_failure ln "density must be positive";
+         density := d
+       | "cells" :: [ n ] -> n_cells := count_of n ln
        | "cell" :: [ nm; w; h; x; y; mv; mb ] ->
          let movebound = if mb = "-" then -1 else int_of mb ln in
+         if movebound < -1 then parse_failure ln "negative movebound id";
+         if mv <> "fixed" && mv <> "movable" then
+           parse_failure ln (Printf.sprintf "bad mobility %S (fixed|movable)" mv);
          cells :=
-           (nm, float_of w ln, float_of h ln, float_of x ln, float_of y ln,
+           (nm, dim_of w ln, dim_of h ln, float_of x ln, float_of y ln,
             mv = "fixed", movebound)
            :: !cells
-       | "nets" :: [ _ ] -> ()
+       | "nets" :: [ n ] -> n_nets := Some (count_of n ln)
        | "net" :: [ w; np ] ->
          (match !current_net with
           | Some _ when !pending_pins > 0 -> parse_failure ln "previous net incomplete"
@@ -116,39 +147,69 @@ let read_channel ?(name = "from-file") ic =
           | Some (w', pins) ->
             nets := { Netlist.weight = w'; pins = Array.of_list (List.rev pins) } :: !nets
           | None -> ());
-         current_net := Some (float_of w ln, []);
-         pending_pins := int_of np ln
+         let w = float_of w ln in
+         if w < 0.0 then parse_failure ln "negative net weight";
+         current_net := Some (w, []);
+         pending_pins := count_of np ln
        | "pin" :: [ c; dx; dy ] ->
          (match !current_net with
           | None -> parse_failure ln "pin outside net"
           | Some (w, pins) ->
             if !pending_pins <= 0 then parse_failure ln "too many pins for net";
+            let cell = int_of c ln in
+            if cell < -1 then parse_failure ln "bad pin cell index";
             current_net :=
-              Some (w, { Netlist.cell = int_of c ln; dx = float_of dx ln;
-                         dy = float_of dy ln } :: pins);
+              Some (w, { Netlist.cell; dx = float_of dx ln; dy = float_of dy ln } :: pins);
             decr pending_pins)
-       | "blockages" :: [ _ ] -> ()
+       | "blockages" :: [ n ] -> n_blockages := Some (count_of n ln)
        | "blockage" :: [ a; b; c; d ] ->
-         blockages :=
-           Rect.make ~x0:(float_of a ln) ~y0:(float_of b ln) ~x1:(float_of c ln)
-             ~y1:(float_of d ln)
-           :: !blockages
+         let r = Rect.make ~x0:(float_of a ln) ~y0:(float_of b ln)
+             ~x1:(float_of c ln) ~y1:(float_of d ln) in
+         if r.Rect.x1 < r.Rect.x0 || r.Rect.y1 < r.Rect.y0 then
+           parse_failure ln "inverted blockage rectangle";
+         blockages := r :: !blockages
+       | ("chip" | "rowheight" | "density" | "cells" | "cell" | "nets" | "net"
+         | "pin" | "blockages" | "blockage") :: _ as toks ->
+         parse_failure ln
+           (Printf.sprintf "malformed %S record (wrong field count)" (List.hd toks))
        | tok :: _ -> parse_failure ln (Printf.sprintf "unknown record %S" tok)
      done
    with End_of_file -> ());
   (match !current_net with
    | Some (w, pins) ->
-     if !pending_pins > 0 then parse_failure !lineno "last net incomplete";
+     if !pending_pins > 0 then
+       parse_failure !lineno "truncated file: last net incomplete";
      nets := { Netlist.weight = w; pins = Array.of_list (List.rev pins) } :: !nets
    | None -> ());
   let cells = Array.of_list (List.rev !cells) in
   if Array.length cells <> !n_cells then
     parse_failure !lineno
-      (Printf.sprintf "expected %d cells, got %d" !n_cells (Array.length cells));
+      (Printf.sprintf "truncated file: expected %d cells, got %d" !n_cells
+         (Array.length cells));
+  (match !n_nets with
+   | Some m when m <> List.length !nets ->
+     parse_failure !lineno
+       (Printf.sprintf "truncated file: expected %d nets, got %d" m (List.length !nets))
+   | _ -> ());
+  (match !n_blockages with
+   | Some m when m <> List.length !blockages ->
+     parse_failure !lineno
+       (Printf.sprintf "expected %d blockages, got %d" m (List.length !blockages))
+   | _ -> ());
   let chip =
     match !chip with Some c -> c | None -> parse_failure !lineno "missing chip record"
   in
   let n = Array.length cells in
+  (* pin indices can only be checked once the cell count is known *)
+  List.iter
+    (fun (net : Netlist.net) ->
+      Array.iter
+        (fun (p : Netlist.pin) ->
+          if p.Netlist.cell >= n then
+            parse_failure !lineno
+              (Printf.sprintf "pin references cell %d of %d" p.Netlist.cell n))
+        net.Netlist.pins)
+    !nets;
   let netlist =
     {
       Netlist.n_cells = n;
@@ -181,3 +242,10 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> read_channel ~name:(Filename.remove_extension (Filename.basename path)) ic)
+
+let read_file_result path =
+  match read_file path with
+  | d -> Ok d
+  | exception Parse_error (line, msg) ->
+    Error (Fbp_resilience.Fbp_error.Parse_error { file = path; line; msg })
+  | exception Sys_error msg -> Error (Fbp_resilience.Fbp_error.Invalid_input msg)

@@ -7,7 +7,15 @@ exception Parse_error of int * string
 val write_channel : out_channel -> Design.t -> unit
 val write_file : string -> Design.t -> unit
 
-(** Raises {!Parse_error} on malformed input. *)
+(** Raises {!Parse_error} on malformed input: unknown or malformed records,
+    NaN/non-finite numbers, negative dimensions or counts, out-of-range pin
+    indices, and truncated files (declared cell/net/blockage counts not
+    met, or an incomplete trailing net). *)
 val read_channel : ?name:string -> in_channel -> Design.t
 
 val read_file : string -> Design.t
+
+(** [read_file] with the failure reified as a typed error
+    ([Parse_error] for malformed content, [Invalid_input] for I/O). *)
+val read_file_result :
+  string -> (Design.t, Fbp_resilience.Fbp_error.t) result

@@ -1,0 +1,51 @@
+(* Typed failure taxonomy of the placement pipeline.  See the interface for
+   the semantics of each variant; this module sits below every solver
+   library so they can all raise/return these without dependency cycles. *)
+
+type cg_stats = {
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
+type t =
+  | Infeasible_flow of { unrouted : float; level : int }
+  | Cg_diverged of cg_stats
+  | Parse_error of { file : string; line : int; msg : string }
+  | Deadline_exceeded of { elapsed : float; budget : float; level : int }
+  | Capacity_overflow of { demand : float; capacity : float; classes : int list }
+  | Invalid_input of string
+  | Internal of { site : string; msg : string }
+
+let to_string = function
+  | Infeasible_flow { unrouted; level } ->
+    Printf.sprintf
+      "infeasible flow at level %d: %.3f cell area unroutable (Theorem 3: no \
+       fractional placement with movebounds exists)"
+      level unrouted
+  | Cg_diverged { iterations; residual; _ } ->
+    Printf.sprintf "CG diverged: residual %.3e after %d iterations" residual
+      iterations
+  | Parse_error { file; line; msg } -> Printf.sprintf "%s:%d: %s" file line msg
+  | Deadline_exceeded { elapsed; budget; level } ->
+    Printf.sprintf "deadline exceeded before level %d: %.2fs elapsed of %.2fs budget"
+      level elapsed budget
+  | Capacity_overflow { demand; capacity; classes } ->
+    Printf.sprintf "capacity overflow: classes [%s] demand %.1f > capacity %.1f"
+      (String.concat ";" (List.map string_of_int classes))
+      demand capacity
+  | Invalid_input msg -> "invalid input: " ^ msg
+  | Internal { site; msg } -> Printf.sprintf "internal failure in %s: %s" site msg
+
+let exit_code = function
+  | Infeasible_flow _ | Capacity_overflow _ -> 2
+  | Parse_error _ -> 3
+  | Deadline_exceeded _ -> 4
+  | Invalid_input _ -> 5
+  | Cg_diverged _ -> 6
+  | Internal _ -> 7
+
+let of_exn ~site = function
+  | Failure msg -> Internal { site; msg }
+  | Invalid_argument msg -> Internal { site; msg = "invalid argument: " ^ msg }
+  | e -> Internal { site; msg = Printexc.to_string e }

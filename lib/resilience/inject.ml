@@ -1,0 +1,69 @@
+(* Deterministic fault-injection registry.  See the interface for the
+   contract; the implementation is a site-keyed table of firing schedules
+   with a global enabled flag so un-instrumented runs pay one read. *)
+
+type site = Mcf | Cg | Parse | Level
+
+type fault =
+  | Infeasible of float
+  | Stagnate
+  | Corrupt
+  | Raise of string
+  | Delay of float
+
+exception Injected of string
+
+type armed = {
+  fault : fault;
+  after : int;
+  mutable remaining : int;  (* -1 = unlimited *)
+  prob : float option;
+  rng : Fbp_util.Rng.t;
+  mutable hits : int;
+}
+
+let sites : (site, armed) Hashtbl.t = Hashtbl.create 8
+let enabled = ref false
+
+let arm ?(seed = 1) ?(after = 0) ?times ?prob site fault =
+  Hashtbl.replace sites site
+    {
+      fault;
+      after;
+      remaining = (match times with Some t -> max 0 t | None -> -1);
+      prob;
+      rng = Fbp_util.Rng.create seed;
+      hits = 0;
+    };
+  enabled := true
+
+let disarm site =
+  Hashtbl.remove sites site;
+  if Hashtbl.length sites = 0 then enabled := false
+
+let reset () =
+  Hashtbl.reset sites;
+  enabled := false
+
+let hits site =
+  match Hashtbl.find_opt sites site with Some a -> a.hits | None -> 0
+
+let active () = !enabled
+
+let fire site =
+  if not !enabled then None
+  else
+    match Hashtbl.find_opt sites site with
+    | None -> None
+    | Some a ->
+      a.hits <- a.hits + 1;
+      if a.hits <= a.after || a.remaining = 0 then None
+      else if
+        match a.prob with
+        | None -> true
+        | Some p -> Fbp_util.Rng.float a.rng < p
+      then begin
+        if a.remaining > 0 then a.remaining <- a.remaining - 1;
+        Some a.fault
+      end
+      else None

@@ -1,0 +1,54 @@
+(** Deterministic fault injection for the placement pipeline.
+
+    Solver stages poll {!fire} at instrumented sites; tests arm a site with
+    a fault and a firing schedule, then drive the pipeline and assert that
+    every degradation path produces a usable placement or a typed error.
+    Scheduling is deterministic: hit counting plus an optional
+    {!Fbp_util.Rng}-seeded firing probability, so a failing run replays
+    bit-for-bit.
+
+    The registry is global mutable state intended for single-domain test
+    runs ([dune runtest]); production code pays one [bool] read per site
+    when nothing is armed. *)
+
+(** Instrumented sites. *)
+type site =
+  | Mcf  (** entry of {!Fbp_flow.Mcf.solve} *)
+  | Cg  (** entry of {!Fbp_linalg.Cg.solve} *)
+  | Parse  (** each input line of {!Fbp_netlist.Bookshelf.read_channel} *)
+  | Level  (** start of each placer refinement level *)
+
+type fault =
+  | Infeasible of float
+      (** [Mcf]: report [Infeasible] with this unrouted amount. *)
+  | Stagnate  (** [Cg]: return immediately with [converged = false]. *)
+  | Corrupt  (** [Parse]: positioned parse error at the current line. *)
+  | Raise of string  (** any site: raise {!Injected}. *)
+  | Delay of float
+      (** [Level]: add virtual seconds to the placer's deadline clock. *)
+
+(** Raised by a [Raise] fault — a stand-in for an arbitrary domain
+    exception escaping a solver stage. *)
+exception Injected of string
+
+(** [arm site fault] makes {!fire} return [fault] at [site].
+    [after] skips the first [after] hits (default 0); [times] limits how
+    often the fault fires (default unlimited); [prob] fires each eligible
+    hit with that probability, drawn from a SplitMix64 stream seeded with
+    [seed] (default: always fire).  Re-arming a site replaces its previous
+    schedule and resets its hit counter. *)
+val arm : ?seed:int -> ?after:int -> ?times:int -> ?prob:float -> site -> fault -> unit
+
+val disarm : site -> unit
+
+(** Disarm every site and reset all counters. *)
+val reset : unit -> unit
+
+(** Number of times [site] was polled since it was armed. *)
+val hits : site -> int
+
+(** True when any site is armed (the fast-path check). *)
+val active : unit -> bool
+
+(** Called by instrumented code: polls the site's schedule. *)
+val fire : site -> fault option

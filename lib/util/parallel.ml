@@ -32,17 +32,41 @@ let map_array ?domains f a =
           if lo >= hi then None
           else Some (Domain.spawn (fun () -> (lo, work lo hi))))
     in
-    let first = work 0 (min chunk n) in
-    let out = Array.make n first.(0) in
-    Array.blit first 0 out 0 (Array.length first);
-    List.iter
-      (function
-        | None -> ()
-        | Some d ->
-          let lo, part = Domain.join d in
-          Array.blit part 0 out lo (Array.length part))
-      spawned;
-    out
+    (* Run the main-thread chunk and join *every* spawned domain before
+       propagating any exception — an early re-raise would leak running
+       domains (and any exception they raise in turn).  The first failure in
+       chunk order (main chunk, then spawned chunks) wins. *)
+    let main =
+      try Ok (work 0 (min chunk n))
+      with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    let joined =
+      List.map
+        (function
+          | None -> None
+          | Some d ->
+            Some
+              (try Ok (Domain.join d)
+               with e -> Error (e, Printexc.get_raw_backtrace ())))
+        spawned
+    in
+    let reraise (e, bt) = Printexc.raise_with_backtrace e bt in
+    (match main with
+     | Error eb -> reraise eb
+     | Ok first ->
+       (match
+          List.find_map (function Some (Error eb) -> Some eb | _ -> None) joined
+        with
+        | Some eb -> reraise eb
+        | None ->
+          let out = Array.make n first.(0) in
+          Array.blit first 0 out 0 (Array.length first);
+          List.iter
+            (function
+              | Some (Ok (lo, part)) -> Array.blit part 0 out lo (Array.length part)
+              | _ -> ())
+            joined;
+          out))
   end
 
 (* [iter_array ~domains f a]: parallel [Array.iter]; [f] must only write to

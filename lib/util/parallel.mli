@@ -10,7 +10,9 @@ val set_default_domains : int -> unit
 val get_default_domains : unit -> int
 
 (** Parallel [Array.map]. [f] must be safe to run concurrently on distinct
-    indices. *)
+    indices.  If [f] raises in any chunk, all spawned domains are still
+    joined before the first exception (in chunk order) is re-raised — no
+    domain is ever leaked. *)
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** Parallel [Array.iter]. [f] must only touch state private to its index. *)

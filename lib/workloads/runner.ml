@@ -1,8 +1,13 @@
 (* Run a placer on an instance and collect the metrics every table needs:
    legal-placement HPWL, wall time split into global and legalization,
-   movebound violations, and the legality audit. *)
+   movebound violations, and the legality audit.
+
+   Failures are typed ({!Fbp_resilience.Fbp_error}); [run_fbp] also wires
+   the recursive-bisection fallback of the degradation ladder into the
+   placer, so an infeasible first level degrades instead of failing. *)
 
 open Fbp_netlist
+module Err = Fbp_resilience.Fbp_error
 
 type metrics = {
   tool : string;
@@ -14,6 +19,7 @@ type metrics = {
   violations : int;
   legal : bool;  (* overlap/row/chip-audit clean *)
   levels : Fbp_core.Placer.level_report list;  (* FBP only *)
+  degradations : Fbp_core.Placer.degradation list;  (* FBP only *)
   placement : Placement.t;  (* final legal placement *)
 }
 
@@ -31,7 +37,14 @@ let normalized inst =
 let run_fbp ?(config = Fbp_core.Config.default) ?(repartition = 1)
     (inst : Fbp_movebound.Instance.t) =
   let nl = inst.Fbp_movebound.Instance.design.Design.netlist in
-  match Fbp_core.Placer.place ~config inst with
+  (* last rung of the degradation ladder: classic recursive bisection for
+     instances whose first-level flow is infeasible *)
+  let fallback () =
+    match Fbp_baselines.Recursive.place ~config inst with
+    | Ok r -> Ok r.Fbp_baselines.Recursive.placement
+    | Error e -> Error e
+  in
+  match Fbp_core.Placer.place ~config ~fallback inst with
   | Error e -> Error e
   | Ok rep ->
     (* reflow post-pass (Repartition): a sweep or two of 2x2 block
@@ -66,12 +79,13 @@ let run_fbp ?(config = Fbp_core.Config.default) ?(repartition = 1)
         violations;
         legal = legal && lst.Fbp_legalize.Legalizer.n_failed = 0;
         levels = rep.Fbp_core.Placer.levels;
+        degradations = rep.Fbp_core.Placer.degradations;
         placement = pos;
       }
 
 let run_rql ?params (inst : Fbp_movebound.Instance.t) =
   match Fbp_baselines.Rql.place ?params inst with
-  | Error e -> Error e
+  | Error e -> Error (Err.Invalid_input e)
   | Ok rep ->
     let inst_n = normalized inst in
     let legal, violations = audit_of inst_n rep.Fbp_baselines.Rql.placement in
@@ -87,12 +101,13 @@ let run_rql ?params (inst : Fbp_movebound.Instance.t) =
         violations;
         legal;
         levels = [];
+        degradations = [];
         placement = rep.Fbp_baselines.Rql.placement;
       }
 
 let run_kraftwerk ?params (inst : Fbp_movebound.Instance.t) =
   match Fbp_baselines.Kraftwerk.place ?params inst with
-  | Error e -> Error e
+  | Error e -> Error (Err.Invalid_input e)
   | Ok rep ->
     let inst_n = normalized inst in
     let legal, violations = audit_of inst_n rep.Fbp_baselines.Kraftwerk.placement in
@@ -109,5 +124,6 @@ let run_kraftwerk ?params (inst : Fbp_movebound.Instance.t) =
         violations;
         legal;
         levels = [];
+        degradations = [];
         placement = rep.Fbp_baselines.Kraftwerk.placement;
       }

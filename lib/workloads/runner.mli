@@ -1,5 +1,5 @@
 (** Run a placer end-to-end (global + legalization) and collect the metrics
-    the tables need. *)
+    the tables need.  Failures are typed ({!Fbp_resilience.Fbp_error}). *)
 
 open Fbp_netlist
 
@@ -13,18 +13,23 @@ type metrics = {
   violations : int;  (** movebound violations in the final placement *)
   legal : bool;  (** overlap/row/chip audit clean *)
   levels : Fbp_core.Placer.level_report list;  (** FBP only *)
+  degradations : Fbp_core.Placer.degradation list;
+      (** FBP only; non-empty when the placer degraded gracefully *)
   placement : Placement.t;
 }
 
 (** [repartition] = number of reflow sweeps after global placement
-    (default 1; 0 disables — the ablation mode). *)
+    (default 1; 0 disables — the ablation mode).  Wires
+    {!Fbp_baselines.Recursive.place} into the placer as the bisection
+    fallback of the degradation ladder. *)
 val run_fbp :
   ?config:Fbp_core.Config.t -> ?repartition:int -> Fbp_movebound.Instance.t ->
-  (metrics, string) result
+  (metrics, Fbp_resilience.Fbp_error.t) result
 
 val run_rql :
-  ?params:Fbp_baselines.Rql.params -> Fbp_movebound.Instance.t -> (metrics, string) result
+  ?params:Fbp_baselines.Rql.params -> Fbp_movebound.Instance.t ->
+  (metrics, Fbp_resilience.Fbp_error.t) result
 
 val run_kraftwerk :
   ?params:Fbp_baselines.Kraftwerk.params -> Fbp_movebound.Instance.t ->
-  (metrics, string) result
+  (metrics, Fbp_resilience.Fbp_error.t) result

@@ -13,7 +13,7 @@ let fmt_hpwl_k v = Printf.sprintf "%.1f" (v /. 1e3)
 
 let or_fail = function
   | Ok v -> v
-  | Error e -> failwith e
+  | Error e -> failwith (Fbp_resilience.Fbp_error.to_string e)
 
 (* ---------------------------------------------------------------- Table I *)
 
@@ -203,7 +203,8 @@ let run_movebound_rows ~(kind : Fbp_movebound.Movebound.kind)
       | Ok mrql, Ok mfbp -> Some { mname = sc.Mb_gen.design; mrql; mfbp }
       | Error e, _ | _, Error e ->
         Printf.eprintf "[tables] %s (%s): %s\n" sc.Mb_gen.design
-          (Fbp_movebound.Movebound.kind_to_string kind) e;
+          (Fbp_movebound.Movebound.kind_to_string kind)
+          (Fbp_resilience.Fbp_error.to_string e);
         None)
     scenarios
 
@@ -373,7 +374,9 @@ let table7 ?(specs = Array.to_list Ispd.specs) () =
             Printf.sprintf "%.1f%%"
               (100.0 *. s.Ispd.paper_fbp_hpwl /. (let a, _, _ = s.Ispd.paper_kw2 in a));
           ]
-      | Error e, _ | _, Error e -> Printf.eprintf "[tables] %s: %s\n" s.Ispd.name e)
+      | Error e, _ | _, Error e ->
+        Printf.eprintf "[tables] %s: %s\n" s.Ispd.name
+          (Fbp_resilience.Fbp_error.to_string e))
     specs;
   Table.add_sep t;
   let hd = Array.of_list !ratios_hd and hdc = Array.of_list !ratios_hdc in

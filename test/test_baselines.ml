@@ -95,7 +95,7 @@ let test_rql_soft_movebounds_can_violate () =
       true
       (rql.Fbp_workloads.Runner.violations > fbp.Fbp_workloads.Runner.violations);
     Alcotest.(check bool) "fbp near-clean" true (fbp.Fbp_workloads.Runner.violations <= 5)
-  | Error e, _ | _, Error e -> Alcotest.fail e
+  | Error e, _ | _, Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
 
 let suite =
   [

@@ -348,7 +348,7 @@ let test_placer_improves_and_respects_movebounds () =
              ~kind:Fbp_movebound.Movebound.Inclusive [ island ] |] }
   in
   match Placer.place inst with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
   | Ok rep ->
     Alcotest.(check bool) "levels ran" true (List.length rep.Placer.levels >= 2);
     (* every constrained cell's center is inside its movebound *)
@@ -364,7 +364,7 @@ let test_placer_deterministic_parallel () =
   let inst = small_instance ~n_cells:700 ~seed:17 () in
   let run domains =
     match Placer.place ~config:{ Config.default with domains } inst with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
     | Ok rep -> rep.Placer.placement
   in
   let p1 = run 1 and p4 = run 4 in
@@ -384,9 +384,19 @@ let test_placer_reports_infeasible () =
         [| Fbp_movebound.Movebound.make ~id:0 ~name:"tiny"
              ~kind:Fbp_movebound.Movebound.Inclusive [ tiny ] |] }
   in
+  (* strict mode surfaces the Theorem 3 certificate as a typed error *)
+  (match Placer.place ~config:{ Config.default with strict = true } inst with
+   | Error (Fbp_resilience.Fbp_error.Infeasible_flow _) -> ()
+   | Error e ->
+     Alcotest.fail ("expected Infeasible_flow, got " ^ Fbp_resilience.Fbp_error.to_string e)
+   | Ok _ -> Alcotest.fail "expected infeasibility report");
+  (* graceful mode degrades (movebound relaxation) instead of failing *)
   match Placer.place inst with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "expected infeasibility report"
+  | Error e ->
+    Alcotest.fail ("graceful mode should not fail: " ^ Fbp_resilience.Fbp_error.to_string e)
+  | Ok rep ->
+    Alcotest.(check bool) "degradations recorded" true
+      (rep.Placer.degradations <> [])
 
 let suite =
   [

@@ -113,7 +113,7 @@ let test_legalize_generated_design_with_movebounds () =
              ~kind:Fbp_movebound.Movebound.Inclusive [ island ] |] }
   in
   match Fbp_core.Placer.place inst with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
   | Ok rep ->
     let pos = rep.Fbp_core.Placer.placement in
     let st =
@@ -185,7 +185,7 @@ let test_flow_legalizer_on_generated () =
   let d = Generator.quick ~seed:91 ~name:"fl" 500 in
   let inst = Fbp_movebound.Instance.unconstrained d in
   match Fbp_core.Placer.place inst with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
   | Ok rep ->
     let pos_tetris = Placement.copy rep.Fbp_core.Placer.placement in
     let pos_flow = Placement.copy rep.Fbp_core.Placer.placement in

@@ -13,5 +13,6 @@ let () =
       ("repartition", Test_repartition.suite);
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
+      ("resilience", Test_resilience.suite);
       ("viz", Test_viz.suite);
     ]

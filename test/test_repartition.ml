@@ -6,7 +6,7 @@ let run_placer n seed =
   let d = Generator.quick ~seed ~name:"reflow" n in
   let inst = Fbp_movebound.Instance.unconstrained d in
   match Fbp_core.Placer.place inst with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
   | Ok rep -> (d, inst, rep)
 
 let test_sweep_improves_or_preserves_hpwl () =
@@ -41,7 +41,7 @@ let test_sweep_respects_capacities_and_admissibility () =
              ~kind:Fbp_movebound.Movebound.Inclusive [ island ] |] }
   in
   match Fbp_core.Placer.place inst with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
   | Ok rep ->
     let inst_n =
       match Fbp_movebound.Instance.normalize inst with Ok i -> i | Error e -> Alcotest.fail e
@@ -95,7 +95,7 @@ let test_runner_reflow_ablation () =
       (on.Fbp_workloads.Runner.hpwl <= off.Fbp_workloads.Runner.hpwl *. 1.02);
     Alcotest.(check bool) "both legal" true
       (on.Fbp_workloads.Runner.legal && off.Fbp_workloads.Runner.legal)
-  | Error e, _ | _, Error e -> Alcotest.fail e
+  | Error e, _ | _, Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
 
 let suite =
   [

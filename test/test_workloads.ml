@@ -113,7 +113,7 @@ let test_runner_fbp_metrics () =
   let d = Fbp_netlist.Generator.quick ~seed:53 ~name:"runner" 1000 in
   let inst = Fbp_movebound.Instance.unconstrained d in
   match Runner.run_fbp inst with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
   | Ok m ->
     Alcotest.(check bool) "legal" true m.Runner.legal;
     Alcotest.(check int) "no violations" 0 m.Runner.violations;
@@ -125,7 +125,7 @@ let test_runner_rql_metrics () =
   let d = Fbp_netlist.Generator.quick ~seed:54 ~name:"runner2" 1000 in
   let inst = Fbp_movebound.Instance.unconstrained d in
   match Runner.run_rql inst with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
   | Ok m ->
     Alcotest.(check bool) "legal" true m.Runner.legal;
     Alcotest.(check bool) "hpwl positive" true (m.Runner.hpwl > 0.0)
