@@ -237,9 +237,63 @@ let bechamel_suite () =
         res)
     tests
 
+(* ------------------------------------------------ machine-readable JSON *)
+
+(* BENCH_pr2.json: the headline numbers of a bench run in machine-readable
+   form — per-design HPWL and wall-time split (with the per-phase QP / flow /
+   realization breakdown summed over levels) plus the full observability
+   metrics (counters and histogram summaries).  check.sh diffs the key set.
+   FBP_BENCH_SMOKE=1 emits only this file and exits; FBP_BENCH_JSON
+   overrides the output path. *)
+let emit_bench_json () =
+  let path =
+    match Sys.getenv_opt "FBP_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_pr2.json"
+  in
+  Fbp_obs.Obs.reset ();
+  Fbp_obs.Obs.enable ();
+  let one name =
+    let spec = Option.get (Fbp_workloads.Designs.find_spec name) in
+    let d = Fbp_workloads.Designs.instantiate spec in
+    let inst = Fbp_movebound.Instance.unconstrained d in
+    match Fbp_workloads.Runner.run_fbp inst with
+    | Error e ->
+      Printf.sprintf "    {\"name\":%S,\"error\":%S}" name
+        (Fbp_resilience.Fbp_error.to_string e)
+    | Ok m ->
+      let qp, flow, real =
+        List.fold_left
+          (fun (q, f, r) (l : Fbp_core.Placer.level_report) ->
+            ( q +. l.Fbp_core.Placer.qp_time,
+              f +. l.Fbp_core.Placer.flow_time,
+              r +. l.Fbp_core.Placer.realization_time ))
+          (0.0, 0.0, 0.0) m.Fbp_workloads.Runner.levels
+      in
+      Printf.sprintf
+        "    {\"name\":%S,\"hpwl\":%.6e,\"total_time\":%.6f,\
+         \"global_time\":%.6f,\"legalize_time\":%.6f,\
+         \"phase_times\":{\"qp\":%.6f,\"flow\":%.6f,\"realization\":%.6f}}"
+        name m.Fbp_workloads.Runner.hpwl m.Fbp_workloads.Runner.total_time
+        m.Fbp_workloads.Runner.global_time m.Fbp_workloads.Runner.legalize_time
+        qp flow real
+  in
+  let designs = List.map one [ "rabe"; "ashraf" ] in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n\"schema\":\"fbp-bench-pr2\",\n\"designs\":[\n%s\n],\n\"metrics\":%s}\n"
+    (String.concat ",\n" designs)
+    (Fbp_obs.Obs.metrics_json ());
+  close_out oc;
+  Fbp_obs.Obs.disable ();
+  Printf.printf "wrote %s\n%!" path
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
+  if Sys.getenv_opt "FBP_BENCH_SMOKE" <> None then begin
+    emit_bench_json ();
+    exit 0
+  end;
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "BonnPlace-FBP reproduction benchmark harness\nscale=%.1f cells/paper-kilocell%s\n"
@@ -285,4 +339,5 @@ let () =
   parallel_table ();
   section "MICRO-BENCHMARKS";
   bechamel_suite ();
+  emit_bench_json ();
   Printf.printf "\ntotal bench wall time: %s\n" (Fbp_util.Duration.pretty (Unix.gettimeofday () -. t0))

@@ -113,21 +113,52 @@ let place_cmd =
            ~doc:"Fail with a typed error instead of degrading gracefully \
                  (reports Theorem 3 infeasibility certificates as errors).")
   in
-  let run input tool movebounds domains svg deadline strict =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+           ~doc:"Write a Chrome trace-event JSON of the run to $(docv) \
+                 (loadable in chrome://tracing or Perfetto)." ~docv:"FILE")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ]
+           ~doc:"Write solver counters and histogram summaries as JSON to \
+                 $(docv)." ~docv:"FILE")
+  in
+  let run input tool movebounds domains svg deadline strict trace metrics =
+    let module Obs = Fbp_obs.Obs in
+    if trace <> None || metrics <> None then begin
+      Obs.reset ();
+      Obs.enable ()
+    end;
+    (* export whatever was recorded on every exit path, including typed
+       failures — a trace of a failed run is the one you want most *)
+    let finish code =
+      (match trace with
+       | Some f -> Obs.write_trace f; Printf.printf "wrote %s\n" f
+       | None -> ());
+      (match metrics with
+       | Some f -> Obs.write_metrics f; Printf.printf "wrote %s\n" f
+       | None -> ());
+      code
+    in
     match read_design input with
-    | Error e -> fail_typed e
+    | Error e -> finish (fail_typed e)
     | Ok d ->
       let inst = instance_of d ~movebounds in
       let result =
-        match tool with
-        | `Fbp ->
-          Fbp_workloads.Runner.run_fbp
-            ~config:{ Fbp_core.Config.default with domains; deadline; strict } inst
-        | `Rql -> Fbp_workloads.Runner.run_rql inst
-        | `Kw -> Fbp_workloads.Runner.run_kraftwerk inst
+        Obs.span "cli.place"
+          ~args:(fun () -> [ ("design", input) ])
+          (fun () ->
+            match tool with
+            | `Fbp ->
+              Fbp_workloads.Runner.run_fbp
+                ~config:{ Fbp_core.Config.default with domains; deadline; strict } inst
+            | `Rql -> Fbp_workloads.Runner.run_rql inst
+            | `Kw -> Fbp_workloads.Runner.run_kraftwerk inst)
       in
       (match result with
-       | Error e -> fail_typed e
+       | Error e -> finish (fail_typed e)
        | Ok m ->
          Printf.printf "%s: HPWL %.6e  time %.2fs (global %.2fs + legalize %.2fs)\n"
            m.Fbp_workloads.Runner.tool m.Fbp_workloads.Runner.hpwl
@@ -148,10 +179,29 @@ let place_cmd =
               (Fbp_viz.Draw.placement inst_n m.Fbp_workloads.Runner.placement);
             Printf.printf "wrote %s\n" path
           | None -> ());
-         0)
+         finish 0)
   in
   Cmd.v (Cmd.info "place" ~doc:"Place a design.")
-    Term.(const run $ input $ tool $ movebounds $ domains $ svg $ deadline $ strict)
+    Term.(const run $ input $ tool $ movebounds $ domains $ svg $ deadline $ strict
+          $ trace $ metrics)
+
+(* --------------------------------------------------------- trace-check *)
+
+let trace_check_cmd =
+  let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE") in
+  let run input =
+    match Fbp_obs.Obs.validate_trace_file input with
+    | Ok n ->
+      Printf.printf "ok: %d balanced span pairs\n" n;
+      0
+    | Error msg ->
+      Printf.eprintf "invalid trace: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a Chrome trace-event JSON file (parses, spans balance).")
+    Term.(const run $ input)
 
 (* -------------------------------------------------------------- tables *)
 
@@ -192,4 +242,7 @@ let tables_cmd =
 
 let () =
   let info = Cmd.info "fbp_place" ~doc:"BonnPlace-FBP reproduction toolkit." in
-  exit (Cmd.eval' (Cmd.group info [ generate_cmd; check_cmd; place_cmd; tables_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ generate_cmd; check_cmd; place_cmd; tables_cmd; trace_check_cmd ]))

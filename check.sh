@@ -17,4 +17,31 @@ else
   echo "== skipping @fmt (ocamlformat not installed)"
 fi
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== bench smoke (BENCH_pr2.json)"
+FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr2.json" dune exec bench/main.exe >/dev/null
+for key in schema designs phase_times counters histograms hpwl total_time; do
+  grep -q "\"$key\"" "$tmp/BENCH_pr2.json" \
+    || { echo "BENCH_pr2.json missing key: $key"; exit 1; }
+done
+
+echo "== observability smoke (--trace / --metrics)"
+fbp="dune exec bin/fbp_place.exe --"
+$fbp generate --cells 1500 --seed 7 -o "$tmp/smoke.book" >/dev/null
+$fbp place "$tmp/smoke.book" --movebounds 2 \
+  --trace "$tmp/trace.json" --metrics "$tmp/metrics.json" >/dev/null
+$fbp trace-check "$tmp/trace.json" >/dev/null \
+  || { echo "emitted trace failed validation"; exit 1; }
+for span in place.level place.qp place.flow place.realization realization.wave; do
+  grep -q "\"name\":\"$span\"" "$tmp/trace.json" \
+    || { echo "trace missing span: $span"; exit 1; }
+done
+for metric in cg.iterations mcf.dijkstra_rounds transport.pivots \
+              realization.shipped_cells realization.wave_width; do
+  grep -q "\"$metric\"" "$tmp/metrics.json" \
+    || { echo "metrics missing: $metric"; exit 1; }
+done
+
 echo "OK"

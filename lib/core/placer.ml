@@ -207,6 +207,13 @@ let place ?(config = Config.default) ?on_level ?fallback
         if config.Config.strict then stop := Some reason
         else
           match (reason, fallback) with
+          | Err.Deadline_exceeded { elapsed; budget; _ }, _ ->
+            (* mid-level deadline: the level is half-done (QP may have moved
+               cells), so restore the checkpoint like any aborted level, but
+               report it as a deadline stop rather than a failure *)
+            blit_placement ~src:!anchor_pos ~dst:pos;
+            degrade (Deadline_stop { level; elapsed; budget });
+            halted := true
           | Err.Infeasible_flow _, Some fb when !levels = [] ->
             (* nothing realized yet: a checkpoint return would be the raw QP
                solution (fully overlapped) — recursive bisection degrades
@@ -244,9 +251,29 @@ let place ?(config = Config.default) ?on_level ?fallback
            end
          | _ ->
            (try
+              Fbp_obs.Obs.span "place.level"
+                ~args:(fun () ->
+                  [ ("level", string_of_int level);
+                    ("nx", string_of_int nx); ("ny", string_of_int ny) ])
+                (fun () ->
               (match !injected_exn with
                | Some msg -> raise (Inject.Injected msg)
                | None -> ());
+              (* Mid-level deadline checks: with only the boundary check, one
+                 slow QP or flow solve can overshoot the budget by a whole
+                 level.  Also polls the Level injection site, so the site is
+                 hit 3x per level (start, post-QP, post-flow) and fault
+                 schedules can target these checks deterministically. *)
+              let check_deadline () =
+                (match Inject.fire Inject.Level with
+                 | Some (Inject.Delay s) -> injected_delay := !injected_delay +. s
+                 | Some (Inject.Raise msg) -> raise (Inject.Injected msg)
+                 | _ -> ());
+                match config.Config.deadline with
+                | Some budget when elapsed () > budget ->
+                  raise (Abort (Err.Deadline_exceeded { elapsed = elapsed (); budget; level }))
+                | _ -> ()
+              in
               let anchor_w =
                 config.Config.anchor_base
                 *. (config.Config.anchor_growth ** float_of_int level)
@@ -257,6 +284,9 @@ let place ?(config = Config.default) ?on_level ?fallback
                  strict mode. *)
               let qp_stats, qp_time =
                 Fbp_util.Timer.time (fun () ->
+                    Fbp_obs.Obs.span "place.qp"
+                      ~args:(fun () -> [ ("level", string_of_int level) ])
+                      (fun () ->
                     if level > 1 then begin
                       let solve w =
                         Qp.solve_global config nl pos ~anchor:(fun c ->
@@ -272,8 +302,9 @@ let place ?(config = Config.default) ?on_level ?fallback
                       end
                     end
                     else
-                      { Qp.vars = 0; cg_iterations = 0; residual = 0.0; converged = true })
+                      { Qp.vars = 0; cg_iterations = 0; residual = 0.0; converged = true }))
               in
+              check_deadline ();
               if not qp_stats.Qp.converged then begin
                 if config.Config.strict then
                   raise (Abort (Err.Cg_diverged (cg_stats_of qp_stats)));
@@ -308,6 +339,9 @@ let place ?(config = Config.default) ?on_level ?fallback
               in
               let (grid, model, sol), flow_time =
                 Fbp_util.Timer.time (fun () ->
+                    Fbp_obs.Obs.span "place.flow"
+                      ~args:(fun () -> [ ("level", string_of_int level) ])
+                      (fun () ->
                     let attempt =
                       if not !margin_ok then build_and_solve 1.0 0.0
                       else
@@ -335,15 +369,19 @@ let place ?(config = Config.default) ?on_level ?fallback
                          degrade (Movebounds_relaxed { level; unrouted });
                          ok
                        | failed -> failed)
-                    | a -> a)
+                    | a -> a))
               in
+              check_deadline ();
               match sol.Fbp_model.verdict with
               | Fbp_flow.Mcf.Infeasible { unrouted } ->
                 raise (Abort (Err.Infeasible_flow { unrouted; level }))
               | Fbp_flow.Mcf.Feasible _ ->
                 let r, realization_time =
                   Fbp_util.Timer.time (fun () ->
-                      Realization.realize config inst regions sol pos ~cell_nets)
+                      Fbp_obs.Obs.span "place.realization"
+                        ~args:(fun () -> [ ("level", string_of_int level) ])
+                        (fun () ->
+                          Realization.realize config inst regions sol pos ~cell_nets))
                 in
                 piece_of_cell := r.Realization.piece_of_cell;
                 final_grid := Some grid;
@@ -369,7 +407,7 @@ let place ?(config = Config.default) ?on_level ?fallback
                 levels := rep :: !levels;
                 log_verbose config "[fbp] level %d: %dx%d windows, %d pieces, hpwl %.3e\n"
                   level nx ny (Grid.n_pieces grid) hpwl;
-                (match on_level with Some f -> f rep | None -> ())
+                (match on_level with Some f -> f rep | None -> ()))
             with
             | Abort reason -> handle_failure level reason
             | Inject.Injected msg ->

@@ -54,12 +54,15 @@ let all_movable (nl : Netlist.t) =
 
 (* Global QP over every movable cell. *)
 let solve_global (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t) ~anchor =
-  let movable = all_movable nl in
-  let sys =
-    Netmodel.assemble nl pos ~movable ~clique_max_degree:cfg.Config.clique_max_degree
-      ~anchor ()
-  in
-  solve_system cfg sys pos
+  Fbp_obs.Obs.span "qp.global"
+    ~args:(fun () -> [ ("cells", string_of_int (Netlist.n_cells nl)) ])
+    (fun () ->
+      let movable = all_movable nl in
+      let sys =
+        Netmodel.assemble nl pos ~movable ~clique_max_degree:cfg.Config.clique_max_degree
+          ~anchor ()
+      in
+      solve_system cfg sys pos)
 
 (* Local QP over [cells] only; [cell_nets] is the cached incidence map.
    Only nets touching a movable cell are assembled. *)

@@ -163,6 +163,17 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
       Array.iter (fun (p : Grid.piece) -> consider p.Grid.id) grid.Grid.pieces;
     !best
   in
+  (* Fallback placement: nearest admissible piece, with the position
+     projected into its area so the post-realization invariants (cell inside
+     its assigned piece) hold even off the flow path. *)
+  let fallback_move w m c (pt : Point.t) =
+    let pid = fallback_piece w m pt in
+    if pid < 0 then (c, pt.Point.x, pt.Point.y, To_piece pid, true)
+    else begin
+      let proj = Rect_set.project_point grid.Grid.pieces.(pid).Grid.area pt in
+      (c, proj.Point.x, proj.Point.y, To_piece pid, true)
+    end
+  in
   (* process one node against a read-only snapshot; returns the moves *)
   let process_node snapshot ((w, m) : int * int) =
     let cells =
@@ -237,9 +248,7 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
         (* no prescription (numerical residue): everything falls back *)
         ((w, m),
          Array.mapi
-           (fun i c ->
-             let pt = Point.make qx.(i) qy.(i) in
-             (c, qx.(i), qy.(i), To_piece (fallback_piece w m pt), true))
+           (fun i c -> fallback_move w m c (Point.make qx.(i) qy.(i)))
            cells)
       end
       else begin
@@ -266,9 +275,7 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
         | Error _ ->
           ((w, m),
            Array.mapi
-             (fun i c ->
-               let pt = Point.make qx.(i) qy.(i) in
-               (c, qx.(i), qy.(i), To_piece (fallback_piece w m pt), true))
+             (fun i c -> fallback_move w m c (Point.make qx.(i) qy.(i)))
              cells)
         | Ok assignment ->
           let choice = Transport.round_integral assignment in
@@ -315,10 +322,7 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
            Array.mapi
              (fun i c ->
                let j = choice.(i) in
-               if j < 0 then begin
-                 let pt = Point.make qx.(i) qy.(i) in
-                 (c, qx.(i), qy.(i), To_piece (fallback_piece w m pt), true)
-               end
+               if j < 0 then fallback_move w m c (Point.make qx.(i) qy.(i))
                else
                  match fst sinks.(j) with
                  | `Piece pid ->
@@ -348,8 +352,15 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
   in
   (* piece loads for the overfill audit *)
   let piece_load = Array.make (Grid.n_pieces grid) 0.0 in
-  List.iter
-    (fun wave ->
+  List.iteri
+    (fun wi wave ->
+      Fbp_obs.Obs.span "realization.wave"
+        ~args:(fun () ->
+          [ ("wave", string_of_int wi);
+            ("nodes", string_of_int (List.length wave));
+            ("domains", string_of_int cfg.Config.domains) ])
+        (fun () ->
+      Fbp_obs.Obs.observe "realization.wave_width" (float_of_int (List.length wave));
       let wave_arr = Array.of_list wave in
       let snapshot = Placement.copy pos in
       let results =
@@ -370,7 +381,8 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
                 match dest with
                 | To_piece pid ->
                   piece_of_cell.(c) <- pid;
-                  piece_load.(pid) <- piece_load.(pid) +. Netlist.size nl c;
+                  if pid >= 0 then
+                    piece_load.(pid) <- piece_load.(pid) +. Netlist.size nl c;
                   stayed := !stayed +. Netlist.size nl c
                 | To_buffer { to_w; x = bx; y = by } ->
                   incr n_shipped;
@@ -388,14 +400,48 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
                   shipped = !shipped; stayed = !stayed }
             | None -> ()
           end)
-        results)
+        results))
     waves;
+  (* The deadlock tie-break above can release a node of a residual cycle
+     before its predecessor commits.  Cells the predecessor then ships over
+     the external arc land in a members buffer whose node was already
+     consumed, so no wave ever processes them: they kept piece_of_cell = -1
+     and were silently dropped.  Flush any such residue through the fallback
+     path so every movable cell ends in an admissible piece. *)
+  let residue =
+    Hashtbl.fold
+      (fun key r acc -> if !r <> [] then (key, List.sort_uniq compare !r) :: acc else acc)
+      members []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((w, m), cells) ->
+      List.iter
+        (fun c ->
+          if piece_of_cell.(c) < 0 then begin
+            let pt = Point.make pos.Placement.x.(c) pos.Placement.y.(c) in
+            let pid = fallback_piece w m pt in
+            piece_of_cell.(c) <- pid;
+            incr n_fallback;
+            Fbp_obs.Obs.count "realization.flushed_cells";
+            if pid >= 0 then begin
+              let proj = Rect_set.project_point grid.Grid.pieces.(pid).Grid.area pt in
+              pos.Placement.x.(c) <- proj.Point.x;
+              pos.Placement.y.(c) <- proj.Point.y;
+              piece_load.(pid) <- piece_load.(pid) +. Netlist.size nl c
+            end
+          end)
+        cells)
+    residue;
   (* overfill audit: compare piece loads against capacities *)
   Array.iter
     (fun (p : Grid.piece) ->
       let over = piece_load.(p.Grid.id) -. p.Grid.capacity in
       if over > !max_overfill then max_overfill := over)
     grid.Grid.pieces;
+  Fbp_obs.Obs.count ~n:!n_shipped "realization.shipped_cells";
+  Fbp_obs.Obs.count ~n:!n_fallback "realization.fallback_cells";
+  Fbp_obs.Obs.observe "realization.piece_overfill" !max_overfill;
   {
     piece_of_cell;
     stats =

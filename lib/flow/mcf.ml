@@ -41,7 +41,9 @@ let solve_real g ~supply =
     Array.fold_left (fun acc e -> if e > eps then acc +. e else acc) 0.0 excess
   in
   let continue_ = ref (remaining_excess () > eps) in
+  let rounds = ref 0 in
   while !continue_ do
+    incr rounds;
     Array.fill dist 0 n infinity;
     Array.fill visited 0 n false;
     Fbp_util.Pq.clear pq;
@@ -120,8 +122,13 @@ let solve_real g ~supply =
       if remaining_excess () <= eps then continue_ := false
     end
   done;
+  Fbp_obs.Obs.count "mcf.solves";
+  Fbp_obs.Obs.observe "mcf.dijkstra_rounds" (float_of_int !rounds);
   if !unrouted > eps then Infeasible { unrouted = !unrouted }
   else Feasible { cost = !total_cost }
+
+let solve_real g ~supply =
+  Fbp_obs.Obs.span "mcf.solve" (fun () -> solve_real g ~supply)
 
 (* Fault-injection shim: tests can force an infeasibility verdict or a
    domain exception here to exercise the placer's degradation ladder. *)

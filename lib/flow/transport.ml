@@ -75,7 +75,7 @@ let set_frac frac i j f =
 
 exception No_admissible_sink of int
 
-let solve ?(max_steps = 0) p =
+let solve_impl ?(max_steps = 0) p =
   let n = n_cells p and k = n_sinks p in
   if k = 0 then invalid_arg "Transport.solve: no sinks";
   let max_steps = if max_steps > 0 then max_steps else 64 * (n + (k * k)) in
@@ -350,9 +350,17 @@ let solve ?(max_steps = 0) p =
        end
      in
      improve ();
+     Fbp_obs.Obs.observe "transport.pivots" (float_of_int !steps);
      Ok { frac; load; cost = total_cost p frac; converged = !converged }
    with No_admissible_sink i ->
      Error (Printf.sprintf "cell %d has no admissible sink" i))
+
+let solve ?max_steps p =
+  Fbp_obs.Obs.count "transport.solves";
+  Fbp_obs.Obs.span "transport.solve"
+    ~args:(fun () ->
+      [ ("cells", string_of_int (n_cells p)); ("sinks", string_of_int (n_sinks p)) ])
+    (fun () -> solve_impl ?max_steps p)
 
 (* Round a fractional assignment to an integral one: each split cell goes to
    its largest-fraction sink.  Sinks may end up overfull by strictly less

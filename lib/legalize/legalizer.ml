@@ -305,7 +305,7 @@ let evict_cross_class (nl : Netlist.t) (pos : Placement.t) pools c =
 (* [movebound_aware]: when false, spills may land in any region (emulating
    placers whose legalization does not reserve capacity per movebound —
    the RQL baseline); violations are then possible and counted upstream. *)
-let run ?(movebound_aware = true) (inst : Fbp_movebound.Instance.t)
+let run_impl ?(movebound_aware = true) (inst : Fbp_movebound.Instance.t)
     (regions : Fbp_movebound.Regions.t) (pos : Placement.t)
     ~(piece_of_cell : int array) ~(grid : Fbp_core.Grid.t option) =
   let t0 = Fbp_util.Timer.now () in
@@ -462,3 +462,10 @@ let run ?(movebound_aware = true) (inst : Fbp_movebound.Instance.t)
     max_displacement = worst;
     time = Fbp_util.Timer.now () -. t0;
   }
+
+let run ?movebound_aware inst regions pos ~piece_of_cell ~grid =
+  Fbp_obs.Obs.span "legalize.run" (fun () ->
+      let stats = run_impl ?movebound_aware inst regions pos ~piece_of_cell ~grid in
+      Fbp_obs.Obs.count ~n:stats.n_spilled "legalize.spilled_cells";
+      Fbp_obs.Obs.count ~n:stats.n_failed "legalize.failed_cells";
+      stats)

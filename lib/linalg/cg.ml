@@ -56,7 +56,11 @@ let solve_real ~max_iter ~tol (a : Csr.t) (b : float array) (x : float array) =
     end
   done;
   let residual = Vec.norm2 r /. bnorm in
-  { iterations = !iter; residual; converged = residual <= tol *. 10.0 }
+  let converged = residual <= tol *. 10.0 in
+  Fbp_obs.Obs.count "cg.solves";
+  if not converged then Fbp_obs.Obs.count "cg.nonconverged";
+  Fbp_obs.Obs.observe "cg.iterations" (float_of_int !iter);
+  { iterations = !iter; residual; converged }
 
 (* Fault-injection shim: tests can simulate numerical stagnation (the
    iterate is left untouched, as after a breakdown-stop) or a domain

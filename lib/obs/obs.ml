@@ -1,0 +1,412 @@
+(* Structured observability: spans, counters, histograms; Chrome trace and
+   metrics JSON export.
+
+   The fast path is a single [Atomic.get] per probe, so instrumentation left
+   in hot solver code is effectively free until someone passes [--trace] /
+   [--metrics].  When enabled, all mutation goes through one mutex: probes
+   fire from realization worker domains concurrently, and the recording rate
+   (per solve / per wave / per node, never per inner iteration) is far too
+   low for the lock to matter. *)
+
+let enabled_flag = Atomic.make false
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+type event = {
+  name : string;
+  ph : char;  (* 'B' begin | 'E' end *)
+  ts : float;  (* microseconds since the trace clock start *)
+  tid : int;  (* recording domain *)
+  args : (string * string) list;
+}
+
+let epoch = ref (Fbp_util.Timer.now ())
+let events : event list ref = ref []
+let event_count = ref 0
+
+(* Backstop against unbounded growth if a trace is left enabled across a
+   huge run; generously above anything the bench designs produce. *)
+let max_events = 4_000_000
+
+let counters : (string, int) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, float list ref) Hashtbl.t = Hashtbl.create 64
+
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let reset () =
+  with_lock (fun () ->
+      events := [];
+      event_count := 0;
+      Hashtbl.reset counters;
+      Hashtbl.reset histograms;
+      epoch := Fbp_util.Timer.now ())
+
+let record name ph args =
+  let ts = (Fbp_util.Timer.now () -. !epoch) *. 1e6 in
+  let tid = (Domain.self () :> int) in
+  with_lock (fun () ->
+      if !event_count < max_events then begin
+        events := { name; ph; ts; tid; args } :: !events;
+        incr event_count
+      end)
+
+let span ?args name f =
+  if not (enabled ()) then f ()
+  else begin
+    record name 'B' (match args with None -> [] | Some a -> a ());
+    Fun.protect ~finally:(fun () -> record name 'E' []) f
+  end
+
+let count ?(n = 1) name =
+  if enabled () then
+    with_lock (fun () ->
+        let v = match Hashtbl.find_opt counters name with Some v -> v | None -> 0 in
+        Hashtbl.replace counters name (v + n))
+
+let observe name v =
+  if enabled () then
+    with_lock (fun () ->
+        match Hashtbl.find_opt histograms name with
+        | Some r -> r := v :: !r
+        | None -> Hashtbl.add histograms name (ref [ v ]))
+
+let counter_value name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters name with Some v -> v | None -> 0)
+
+let histogram_values name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some r -> Array.of_list (List.rev !r)
+      | None -> [||])
+
+let n_events () = with_lock (fun () -> !event_count)
+
+(* ------------------------------------------------------------ emission *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let trace_json () =
+  let evs = with_lock (fun () -> List.rev !events) in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n{\"name\":\"%s\",\"cat\":\"fbp\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+           (escape e.name) e.ph e.ts e.tid);
+      if e.args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+          e.args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    evs;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let summary_json values =
+  let a = Array.of_list (List.rev values) in
+  let n = Array.length a in
+  if n = 0 then "{\"count\":0}"
+  else begin
+    let lo, hi = Fbp_util.Stats.min_max a in
+    Printf.sprintf
+      "{\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+      n
+      (float_str (Fbp_util.Stats.sum a))
+      (float_str (Fbp_util.Stats.mean a))
+      (float_str lo) (float_str hi)
+      (float_str (Fbp_util.Stats.percentile a 0.5))
+      (float_str (Fbp_util.Stats.percentile a 0.9))
+      (float_str (Fbp_util.Stats.percentile a 0.99))
+  end
+
+let metrics_json () =
+  let cs, hs =
+    with_lock (fun () ->
+        ( Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters [],
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) histograms [] ))
+  in
+  let cs = List.sort compare cs in
+  let hs = List.sort (fun (a, _) (b, _) -> compare a b) hs in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n  \"%s\":%d" (escape k) v))
+    cs;
+  Buffer.add_string b "\n},\n\"histograms\":{";
+  List.iteri
+    (fun i (k, vs) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n  \"%s\":%s" (escape k) (summary_json vs)))
+    hs;
+  Buffer.add_string b "\n}\n}\n";
+  Buffer.contents b
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_trace path = write_string path (trace_json ())
+let write_metrics path = write_string path (metrics_json ())
+
+(* ------------------------------------------------------------- parsing *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let m = String.length lit in
+      if !pos + m <= n && String.sub s !pos m = lit then begin
+        pos := !pos + m;
+        v
+      end
+      else fail ("bad literal, expected " ^ lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'n' -> Buffer.add_char b '\n'
+           | 'r' -> Buffer.add_char b '\r'
+           | 't' -> Buffer.add_char b '\t'
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape"
+             in
+             (* ASCII round-trips (all this module emits); anything larger
+                degrades to '?' — fine for validation purposes *)
+             if code < 0x80 then Buffer.add_char b (Char.chr code)
+             else Buffer.add_char b '?'
+           | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      while
+        !pos < n
+        && (match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false)
+      do
+        advance ()
+      done;
+      let str = String.sub s start (!pos - start) in
+      match float_of_string_opt str with
+      | Some f -> f
+      | None -> fail ("bad number " ^ str)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> Num (parse_number ())
+      | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+    with Bad msg -> Error msg
+
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+end
+
+let validate_trace doc =
+  match Json.parse doc with
+  | Error msg -> Error ("JSON parse failed: " ^ msg)
+  | Ok root ->
+    (match Json.member "traceEvents" root with
+     | Some (Json.Arr evs) ->
+       (* one LIFO stack per tid; B pushes, E must pop a matching name *)
+       let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+       let stack tid =
+         match Hashtbl.find_opt stacks tid with
+         | Some r -> r
+         | None ->
+           let r = ref [] in
+           Hashtbl.add stacks tid r;
+           r
+       in
+       let pairs = ref 0 in
+       let err = ref None in
+       List.iteri
+         (fun i ev ->
+           if !err = None then begin
+             let str k = match Json.member k ev with Some (Json.Str s) -> Some s | _ -> None in
+             let num k = match Json.member k ev with Some (Json.Num f) -> Some f | _ -> None in
+             match (str "ph", str "name", num "tid") with
+             | Some ph, Some name, Some tidf ->
+               let st = stack (int_of_float tidf) in
+               (match ph with
+                | "B" -> st := name :: !st
+                | "E" ->
+                  (match !st with
+                   | top :: rest when top = name ->
+                     st := rest;
+                     incr pairs
+                   | top :: _ ->
+                     err :=
+                       Some
+                         (Printf.sprintf "event %d: end of \"%s\" but \"%s\" is open" i
+                            name top)
+                   | [] -> err := Some (Printf.sprintf "event %d: end of \"%s\" with no open span" i name))
+                | _ -> ())
+             | _ -> err := Some (Printf.sprintf "event %d: missing ph/name/tid" i)
+           end)
+         evs;
+       (match !err with
+        | Some e -> Error e
+        | None ->
+          let unbalanced = ref [] in
+          Hashtbl.iter
+            (fun tid r -> if !r <> [] then unbalanced := (tid, List.hd !r) :: !unbalanced)
+            stacks;
+          (match !unbalanced with
+           | [] -> Ok !pairs
+           | (tid, name) :: _ ->
+             Error (Printf.sprintf "tid %d: span \"%s\" never closed" tid name)))
+     | _ -> Error "no traceEvents array")
+
+let validate_trace_file path =
+  let ic = open_in_bin path in
+  let doc =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate_trace doc

@@ -1,0 +1,89 @@
+(** Structured observability for the placement pipeline.
+
+    Three primitives, all process-global and domain-safe:
+
+    - {b spans} — nested begin/end intervals ({!span}) exported as Chrome
+      trace-event JSON ({!write_trace}, loadable in [chrome://tracing] /
+      Perfetto).  Each event carries the recording domain as its [tid], so
+      parallel realization waves appear as concurrent tracks.
+    - {b counters} — monotonic integer counts ({!count}).
+    - {b histograms} — float observations ({!observe}) summarized at export
+      time (count/sum/mean/min/max/p50/p90/p99 via {!Fbp_util.Stats}).
+
+    Instrumentation is disabled by default: every probe first reads one
+    atomic flag and returns, so a fully-probed solver chain costs well under
+    5% when nothing is armed.  Enable with {!enable} (the CLI does this when
+    [--trace] or [--metrics] is given), then export with {!write_trace} /
+    {!write_metrics}.
+
+    The span taxonomy and metric names used by the pipeline are documented
+    in DESIGN.md ("Observability"). *)
+
+(** [true] once {!enable} was called (and {!disable} was not). *)
+val enabled : unit -> bool
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** Drop all recorded events, counters and histograms and restart the trace
+    clock.  Does not change the enabled flag. *)
+val reset : unit -> unit
+
+(** [span name f] runs [f ()]; when enabled, records a begin event before
+    and an end event after (also on exception).  [args] is evaluated only
+    when enabled, so argument formatting is free on the disabled path.
+    Spans nest; balance is guaranteed by construction. *)
+val span : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+
+(** [count name] adds [n] (default 1) to the counter [name]. *)
+val count : ?n:int -> string -> unit
+
+(** [observe name v] appends [v] to the histogram [name]. *)
+val observe : string -> float -> unit
+
+(** Current counter value; 0 when the counter was never touched. *)
+val counter_value : string -> int
+
+(** All values observed for [name], in recording order. *)
+val histogram_values : string -> float array
+
+(** Number of recorded trace events (begin + end). *)
+val n_events : unit -> int
+
+(** Chrome trace-event JSON ({["traceEvents"]} array of ["B"]/["E"] pairs,
+    timestamps in microseconds since the trace clock start). *)
+val trace_json : unit -> string
+
+(** Metrics JSON: {["counters"]} (name → int) and {["histograms"]} (name →
+    summary object), keys sorted. *)
+val metrics_json : unit -> string
+
+val write_trace : string -> unit
+val write_metrics : string -> unit
+
+(** Minimal JSON parser — enough to validate this module's own output and
+    machine-read it from tests and tooling.  Numbers are [float]s; object
+    member order is preserved. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  (** Parse a complete JSON document (trailing whitespace allowed). *)
+  val parse : string -> (t, string) result
+
+  (** First member with this key, when the value is an object. *)
+  val member : string -> t -> t option
+end
+
+(** Validate a Chrome trace document: parses, has a ["traceEvents"] array,
+    and every domain's begin/end events balance with matching names in
+    stack (LIFO) order.  Returns the number of balanced span pairs. *)
+val validate_trace : string -> (int, string) result
+
+(** {!validate_trace} on a file's contents. *)
+val validate_trace_file : string -> (int, string) result

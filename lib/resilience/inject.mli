@@ -16,7 +16,10 @@ type site =
   | Mcf  (** entry of {!Fbp_flow.Mcf.solve} *)
   | Cg  (** entry of {!Fbp_linalg.Cg.solve} *)
   | Parse  (** each input line of {!Fbp_netlist.Bookshelf.read_channel} *)
-  | Level  (** start of each placer refinement level *)
+  | Level
+      (** polled 3x per placer refinement level: at level start, after the
+          QP solve and after the flow solve (the two mid-level deadline
+          checks) *)
 
 type fault =
   | Infeasible of float

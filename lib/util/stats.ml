@@ -6,8 +6,12 @@ let mean a =
 
 let sum = Array.fold_left ( +. ) 0.0
 
+let reject_nan name a =
+  if Array.exists Float.is_nan a then invalid_arg (name ^ ": NaN input")
+
 let min_max a =
   if Array.length a = 0 then invalid_arg "Stats.min_max: empty";
+  reject_nan "Stats.min_max" a;
   Array.fold_left
     (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
     (a.(0), a.(0)) a
@@ -21,12 +25,17 @@ let stddev a =
     sqrt (acc /. float_of_int (n - 1))
   end
 
-(* Percentile with linear interpolation; [p] in [0, 1]. *)
+(* Percentile with linear interpolation; [p] clamped to [0, 1].  NaN (in
+   the data or as [p]) is rejected: polymorphic [compare] sorts NaN
+   arbitrarily and an unclamped [p] would index out of bounds. *)
 let percentile a p =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.percentile: empty";
+  reject_nan "Stats.percentile" a;
+  if Float.is_nan p then invalid_arg "Stats.percentile: NaN p";
+  let p = Float.max 0.0 (Float.min 1.0 p) in
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pos = p *. float_of_int (n - 1) in
   let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
   let frac = pos -. floor pos in

@@ -3,14 +3,14 @@
 val mean : float array -> float
 val sum : float array -> float
 
-(** Raises [Invalid_argument] on an empty array. *)
+(** Raises [Invalid_argument] on an empty array or NaN input. *)
 val min_max : float array -> float * float
 
 (** Sample standard deviation (n−1 denominator); 0 for fewer than 2 values. *)
 val stddev : float array -> float
 
-(** [percentile a p] with [p] in [0,1], linear interpolation.
-    Raises [Invalid_argument] on an empty array. *)
+(** [percentile a p] with [p] clamped to [0,1], linear interpolation.
+    Raises [Invalid_argument] on an empty array, NaN input, or NaN [p]. *)
 val percentile : float array -> float -> float
 
 (** Geometric mean of strictly positive values. *)

@@ -329,6 +329,111 @@ let test_realization_follows_flow_prescriptions () =
     Alcotest.(check int) "no externals, nothing shipped" 0
       r.Realization.stats.Realization.n_shipped_cells
 
+(* Post-realization invariants: every movable cell landed in a piece, its
+   position is inside that piece's area, and (when requested) the piece's
+   region admits the cell's movebound class. *)
+let check_realization_invariants ?(check_admissible = true)
+    (inst : Fbp_movebound.Instance.t) (regions : Fbp_movebound.Regions.t)
+    (grid : Grid.t) ~(piece_of_cell : int array) (pos : Placement.t) =
+  let nl = inst.Fbp_movebound.Instance.design.Design.netlist in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    if not nl.Netlist.fixed.(c) then begin
+      let pid = piece_of_cell.(c) in
+      if pid < 0 then Alcotest.failf "cell %d has no piece (dropped)" c;
+      let piece = grid.Grid.pieces.(pid) in
+      if not (Rect_set.contains_point piece.Grid.area (Placement.get pos c)) then
+        Alcotest.failf "cell %d outside its assigned piece %d" c pid;
+      if check_admissible then begin
+        let mb = nl.Netlist.movebound.(c) in
+        let reg = regions.Fbp_movebound.Regions.regions.(piece.Grid.region) in
+        if not (Fbp_movebound.Regions.admissible reg ~mb) then
+          Alcotest.failf "cell %d in a region inadmissible for movebound %d" c mb
+      end
+    end
+  done
+
+(* Regression for the dropped-cell bug: when a residual cycle among the
+   external arcs survives into realization, the Kahn deadlock tie-break
+   releases the smallest node of the cycle first.  When that node commits,
+   its members table entry is consumed; cells the *other* cycle node later
+   ships into it land in a buffer no wave ever processes and used to keep
+   piece_of_cell = -1.  The crafted solution below forces exactly that:
+   externals form the 2-cycle w0 -> w1 -> w0 and window 1's piece
+   allotments are zeroed, so every cell of node (1, cls) must ship into the
+   already-consumed node (0, cls). *)
+let test_realization_flushes_cycle_residue () =
+  let inst = small_instance ~n_cells:400 ~seed:7 () in
+  let design = inst.Fbp_movebound.Instance.design in
+  let regions, grid, model = build_model ~nx:2 inst in
+  let sol = Fbp_model.solve model in
+  (match sol.Fbp_model.verdict with
+   | Fbp_flow.Mcf.Feasible _ -> ()
+   | Fbp_flow.Mcf.Infeasible _ -> Alcotest.fail "base model must be feasible");
+  let n_classes = model.Fbp_model.n_classes in
+  let cls = n_classes - 1 in
+  let g1 =
+    match
+      Array.find_opt
+        (fun (g : Fbp_model.group) -> g.Fbp_model.w = 1 && g.Fbp_model.m = cls)
+        model.Fbp_model.groups
+    with
+    | Some g -> g
+    | None -> Alcotest.fail "window 1 must hold cells of the test class"
+  in
+  (* zero window 1's allotments so node (1, cls) only has its transit sink *)
+  let allot = Array.copy sol.Fbp_model.allot in
+  List.iter
+    (fun pid -> allot.((pid * n_classes) + cls) <- 0.0)
+    grid.Grid.pieces_of_window.(1);
+  let externals =
+    [
+      { Fbp_model.xm = cls; from_w = 0; to_w = 1; from_dir = 1; amount = 1e-3 };
+      { Fbp_model.xm = cls; from_w = 1; to_w = 0; from_dir = 3;
+        amount = g1.Fbp_model.total };
+    ]
+  in
+  let sol = { sol with Fbp_model.allot; externals } in
+  let pos = Placement.copy design.Design.initial in
+  let cell_nets = Netlist.cell_nets design.Design.netlist in
+  let r = Realization.realize Config.default inst regions sol pos ~cell_nets in
+  (* the flush path must have fired... *)
+  Alcotest.(check bool) "cycle residue went through fallback" true
+    (r.Realization.stats.Realization.n_fallback_cells > 0);
+  (* ...and no cell may be dropped (piece_of_cell = -1 was the bug) *)
+  check_realization_invariants inst regions grid
+    ~piece_of_cell:r.Realization.piece_of_cell pos
+
+(* The invariants must also hold on the placer's end-to-end result, and stay
+   true while the degradation ladder is being exercised by fault schedules
+   (the same sites test_resilience uses). *)
+let test_realization_invariants_end_to_end () =
+  let with_inject f = Fun.protect ~finally:Fbp_resilience.Inject.reset f in
+  let check_rep (rep : Placer.report) inst =
+    match rep.Placer.final_grid with
+    | None -> Alcotest.fail "placer must report its final grid"
+    | Some grid ->
+      check_realization_invariants ~check_admissible:false inst rep.Placer.regions
+        grid ~piece_of_cell:rep.Placer.piece_of_cell rep.Placer.placement
+  in
+  let inst = small_instance ~n_cells:500 ~seed:29 () in
+  (match Placer.place inst with
+   | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
+   | Ok rep -> check_rep rep inst);
+  (* one transient flow infeasibility: margin drop / relaxation rungs *)
+  with_inject (fun () ->
+      Fbp_resilience.Inject.arm ~times:1 Fbp_resilience.Inject.Mcf
+        (Fbp_resilience.Inject.Infeasible 1.0);
+      match Placer.place inst with
+      | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
+      | Ok rep -> check_rep rep inst);
+  (* CG stagnation: safeguarded restart must not corrupt the assignment *)
+  with_inject (fun () ->
+      Fbp_resilience.Inject.arm ~times:2 Fbp_resilience.Inject.Cg
+        Fbp_resilience.Inject.Stagnate;
+      match Placer.place inst with
+      | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
+      | Ok rep -> check_rep rep inst)
+
 let test_placer_improves_and_respects_movebounds () =
   let d = Generator.quick ~seed:21 ~name:"t" 1200 in
   let chip = d.Design.chip in
@@ -415,6 +520,10 @@ let suite =
     Alcotest.test_case "realization assigns everything" `Quick test_realization_assigns_everything;
     Alcotest.test_case "realization follows flow prescriptions" `Quick
       test_realization_follows_flow_prescriptions;
+    Alcotest.test_case "realization flushes cycle residue" `Quick
+      test_realization_flushes_cycle_residue;
+    Alcotest.test_case "realization invariants end to end" `Quick
+      test_realization_invariants_end_to_end;
     Alcotest.test_case "placer respects movebounds" `Slow test_placer_improves_and_respects_movebounds;
     Alcotest.test_case "placer deterministic across domains" `Slow test_placer_deterministic_parallel;
     Alcotest.test_case "placer reports infeasible" `Quick test_placer_reports_infeasible;

@@ -3,6 +3,7 @@ let () =
   Alcotest.run "fbp"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("geometry", Test_geometry.suite);
       ("flow", Test_flow.suite);
       ("netlist", Test_netlist.suite);

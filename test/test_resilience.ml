@@ -260,9 +260,10 @@ let deadline_config ~strict =
 
 let test_deadline_returns_checkpoint () =
   with_inject (fun () ->
-      (* level 1 runs clean; the injected virtual delay then blows the
-         budget, so the run halts with level 1's realization as checkpoint *)
-      Inject.arm ~after:1 Inject.Level (Inject.Delay 100.0);
+      (* level 1 runs clean (3 Level polls: start, post-QP, post-flow); the
+         delay injected at level 2's start poll then blows the budget, so
+         the run halts with level 1's realization as checkpoint *)
+      Inject.arm ~after:3 Inject.Level (Inject.Delay 100.0);
       match place ~config:(deadline_config ~strict:false) (small_instance ()) with
       | Error e -> fail_err "graceful deadline must not fail" e
       | Ok rep ->
@@ -282,7 +283,7 @@ let test_deadline_returns_checkpoint () =
 
 let test_deadline_strict () =
   with_inject (fun () ->
-      Inject.arm ~after:1 Inject.Level (Inject.Delay 100.0);
+      Inject.arm ~after:3 Inject.Level (Inject.Delay 100.0);
       match place ~config:(deadline_config ~strict:true) (small_instance ()) with
       | Error (Err.Deadline_exceeded { elapsed; budget; level }) ->
         Alcotest.(check int) "before level 2" 2 level;
@@ -290,11 +291,43 @@ let test_deadline_strict () =
       | Error e -> fail_err "expected Deadline_exceeded" e
       | Ok _ -> Alcotest.fail "strict mode must surface the deadline")
 
+(* The boundary check alone would let a slow QP or flow solve overshoot the
+   budget by a whole level; these hit the two mid-level checks.  Poll order
+   per level: start (hit 3k+1), post-QP (3k+2), post-flow (3k+3). *)
+let test_deadline_mid_level_post_qp () =
+  with_inject (fun () ->
+      (* fires at level 2's post-QP poll: level 2 is half-done and must be
+         rolled back to level 1's checkpoint *)
+      Inject.arm ~after:4 Inject.Level (Inject.Delay 100.0);
+      match place ~config:(deadline_config ~strict:false) (small_instance ()) with
+      | Error e -> fail_err "graceful deadline must not fail" e
+      | Ok rep ->
+        Alcotest.(check int) "only level 1 realized" 1 (List.length rep.Placer.levels);
+        Alcotest.(check bool) "deadline stop at level 2" true
+          (List.exists
+             (function
+               | Placer.Deadline_stop { level; elapsed; budget } ->
+                 level = 2 && elapsed > budget
+               | _ -> false)
+             rep.Placer.degradations);
+        Alcotest.(check bool) "checkpoint finite" true
+          (placement_finite rep.Placer.placement))
+
+let test_deadline_mid_level_post_flow () =
+  with_inject (fun () ->
+      Inject.arm ~after:5 Inject.Level (Inject.Delay 100.0);
+      match place ~config:(deadline_config ~strict:true) (small_instance ()) with
+      | Error (Err.Deadline_exceeded { elapsed; budget; level }) ->
+        Alcotest.(check int) "inside level 2" 2 level;
+        Alcotest.(check bool) "elapsed > budget" true (elapsed > budget)
+      | Error e -> fail_err "expected Deadline_exceeded" e
+      | Ok _ -> Alcotest.fail "strict mode must surface the mid-level deadline")
+
 (* ---------- escaped exceptions ---------- *)
 
 let test_domain_exception_checkpointed () =
   with_inject (fun () ->
-      Inject.arm ~after:1 Inject.Level (Inject.Raise "boom");
+      Inject.arm ~after:3 Inject.Level (Inject.Raise "boom");
       match place (small_instance ()) with
       | Error e -> fail_err "graceful mode must not fail" e
       | Ok rep ->
@@ -311,7 +344,7 @@ let test_domain_exception_checkpointed () =
 
 let test_domain_exception_strict () =
   with_inject (fun () ->
-      Inject.arm ~after:1 Inject.Level (Inject.Raise "boom");
+      Inject.arm ~after:3 Inject.Level (Inject.Raise "boom");
       match place ~config:{ Config.default with strict = true } (small_instance ()) with
       | Error (Err.Internal { msg; _ }) ->
         Alcotest.(check string) "message preserved" "boom" msg
@@ -393,6 +426,9 @@ let suite =
     Alcotest.test_case "parser injected corruption" `Quick test_parser_injected_corruption;
     Alcotest.test_case "deadline returns checkpoint" `Quick test_deadline_returns_checkpoint;
     Alcotest.test_case "deadline strict" `Quick test_deadline_strict;
+    Alcotest.test_case "deadline mid-level post-qp" `Quick test_deadline_mid_level_post_qp;
+    Alcotest.test_case "deadline mid-level post-flow" `Quick
+      test_deadline_mid_level_post_flow;
     Alcotest.test_case "domain exception checkpointed" `Quick
       test_domain_exception_checkpointed;
     Alcotest.test_case "domain exception strict" `Quick test_domain_exception_strict;

@@ -132,6 +132,24 @@ let test_stats_basic () =
   check_float "p0" 1.0 (Stats.percentile a 0.0);
   check_float "p100" 4.0 (Stats.percentile a 1.0)
 
+let test_stats_edge_cases () =
+  let a = [| 3.0; 1.0; 2.0 |] in
+  (* out-of-range p used to index out of bounds; now clamps to [0, 1] *)
+  check_float "p < 0 clamps to min" 1.0 (Stats.percentile a (-0.5));
+  check_float "p > 1 clamps to max" 3.0 (Stats.percentile a 2.0);
+  (* NaN sorts arbitrarily under polymorphic compare and poisons min/max;
+     both functions must reject it outright *)
+  let nan_data = [| 1.0; Float.nan; 2.0 |] in
+  Alcotest.check_raises "percentile rejects NaN data"
+    (Invalid_argument "Stats.percentile: NaN input") (fun () ->
+      ignore (Stats.percentile nan_data 0.5));
+  Alcotest.check_raises "percentile rejects NaN p"
+    (Invalid_argument "Stats.percentile: NaN p") (fun () ->
+      ignore (Stats.percentile a Float.nan));
+  Alcotest.check_raises "min_max rejects NaN"
+    (Invalid_argument "Stats.min_max: NaN input") (fun () ->
+      ignore (Stats.min_max nan_data))
+
 let test_stats_geomean () =
   check_float "geomean" 2.0 (Stats.geomean [| 1.0; 4.0 |]);
   check_float "geomean of equal" 3.0 (Stats.geomean [| 3.0; 3.0; 3.0 |])
@@ -214,6 +232,7 @@ let suite =
     Alcotest.test_case "union-find basic" `Quick test_union_find;
     qcheck prop_union_find_transitive;
     Alcotest.test_case "stats basic" `Quick test_stats_basic;
+    Alcotest.test_case "stats edge cases" `Quick test_stats_edge_cases;
     Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
     Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
     Alcotest.test_case "duration formatting" `Quick test_duration;
