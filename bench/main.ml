@@ -239,17 +239,17 @@ let bechamel_suite () =
 
 (* ------------------------------------------------ machine-readable JSON *)
 
-(* BENCH_pr2.json: the headline numbers of a bench run in machine-readable
+(* BENCH_pr3.json: the headline numbers of a bench run in machine-readable
    form — per-design HPWL and wall-time split (with the per-phase QP / flow /
    realization breakdown summed over levels) plus the full observability
    metrics (counters and histogram summaries).  check.sh diffs the key set.
-   FBP_BENCH_SMOKE=1 emits only this file and exits; FBP_BENCH_JSON
-   overrides the output path. *)
+   FBP_BENCH_SMOKE=1 emits only this file (flagged "smoke":true) and exits;
+   FBP_BENCH_JSON overrides the output path. *)
 let emit_bench_json () =
   let path =
     match Sys.getenv_opt "FBP_BENCH_JSON" with
     | Some p -> p
-    | None -> "BENCH_pr2.json"
+    | None -> "BENCH_pr3.json"
   in
   Fbp_obs.Obs.reset ();
   Fbp_obs.Obs.enable ();
@@ -280,7 +280,9 @@ let emit_bench_json () =
   in
   let designs = List.map one [ "rabe"; "ashraf" ] in
   let oc = open_out path in
-  Printf.fprintf oc "{\n\"schema\":\"fbp-bench-pr2\",\n\"designs\":[\n%s\n],\n\"metrics\":%s}\n"
+  Printf.fprintf oc
+    "{\n\"schema\":\"fbp-bench-pr3\",\n\"smoke\":%b,\n\"designs\":[\n%s\n],\n\"metrics\":%s}\n"
+    (Sys.getenv_opt "FBP_BENCH_SMOKE" <> None)
     (String.concat ",\n" designs)
     (Fbp_obs.Obs.metrics_json ());
   close_out oc;

@@ -125,11 +125,25 @@ let place_cmd =
            ~doc:"Write solver counters and histogram summaries as JSON to \
                  $(docv)." ~docv:"FILE")
   in
-  let run input tool movebounds domains svg deadline strict trace metrics =
+  let record =
+    Arg.(value & opt (some string) None
+         & info [ "record" ]
+           ~doc:"Write a quality flight record (per-level HPWL, density \
+                 overflow, movebound violations, solver effort, phase \
+                 times, GC deltas) as a versioned run-record JSON to \
+                 $(docv); render it with $(b,fbp_place report), gate CI \
+                 with $(b,fbp_place diff-record)." ~docv:"FILE")
+  in
+  let run input tool movebounds domains svg deadline strict trace metrics record =
     let module Obs = Fbp_obs.Obs in
-    if trace <> None || metrics <> None then begin
+    let module Rec = Fbp_obs.Recorder in
+    if trace <> None || metrics <> None || record <> None then begin
       Obs.reset ();
       Obs.enable ()
+    end;
+    if record <> None then begin
+      Rec.reset ();
+      Rec.enable ()
     end;
     (* export whatever was recorded on every exit path, including typed
        failures — a trace of a failed run is the one you want most *)
@@ -140,12 +154,36 @@ let place_cmd =
       (match metrics with
        | Some f -> Obs.write_metrics f; Printf.printf "wrote %s\n" f
        | None -> ());
+      (match record with
+       | Some f ->
+         (match Obs.Json.parse (Obs.metrics_json ()) with
+          | Ok m -> Rec.set_metrics m
+          | Error _ -> ());
+         Rec.write_current f;
+         Rec.disable ();
+         Printf.printf "wrote %s\n" f
+       | None -> ());
       code
     in
     match read_design input with
     | Error e -> finish (fail_typed e)
     | Ok d ->
       let inst = instance_of d ~movebounds in
+      Rec.set_provenance
+        {
+          Rec.design = input;
+          cells = Fbp_netlist.Netlist.n_cells d.Fbp_netlist.Design.netlist;
+          nets = Fbp_netlist.Netlist.n_nets d.Fbp_netlist.Design.netlist;
+          movebounds = Fbp_movebound.Instance.n_movebounds inst;
+          seed = None;
+          tool = (match tool with `Fbp -> "fbp" | `Rql -> "rql" | `Kw -> "kraftwerk");
+          config =
+            [ ("domains", string_of_int domains);
+              ("strict", string_of_bool strict) ]
+            @ (match deadline with
+               | Some dl -> [ ("deadline", Printf.sprintf "%g" dl) ]
+               | None -> []);
+        };
       let result =
         Obs.span "cli.place"
           ~args:(fun () -> [ ("design", input) ])
@@ -183,7 +221,7 @@ let place_cmd =
   in
   Cmd.v (Cmd.info "place" ~doc:"Place a design.")
     Term.(const run $ input $ tool $ movebounds $ domains $ svg $ deadline $ strict
-          $ trace $ metrics)
+          $ trace $ metrics $ record)
 
 (* --------------------------------------------------------- trace-check *)
 
@@ -201,6 +239,103 @@ let trace_check_cmd =
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:"Validate a Chrome trace-event JSON file (parses, spans balance).")
+    Term.(const run $ input)
+
+(* ------------------------------------------------------------- report *)
+
+let report_cmd =
+  let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"RECORD") in
+  let out =
+    Arg.(value & opt string "report.html"
+         & info [ "o"; "output" ] ~doc:"HTML output file." ~docv:"FILE")
+  in
+  let run input out =
+    match Fbp_obs.Recorder.read_file input with
+    | Error msg ->
+      Printf.eprintf "cannot read run record %s: %s\n" input msg;
+      Err.exit_code (Err.Parse_error { file = input; line = 0; msg })
+    | Ok rec_ ->
+      let html = Fbp_viz.Report.render rec_ in
+      let oc = open_out_bin out in
+      output_string oc html;
+      close_out oc;
+      Printf.printf "wrote %s (%d levels, %d bytes)\n" out
+        (List.length rec_.Fbp_obs.Recorder.levels)
+        (String.length html);
+      0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a flight-recorder run record as a self-contained HTML \
+             report (convergence curve, phase times, density heatmap, \
+             metric tables).")
+    Term.(const run $ input $ out)
+
+(* -------------------------------------------------------- diff-record *)
+
+let diff_record_cmd =
+  let base = Arg.(required & pos 0 (some string) None & info [] ~docv:"BASE") in
+  let cand = Arg.(required & pos 1 (some string) None & info [] ~docv:"CANDIDATE") in
+  let max_hpwl =
+    Arg.(value & opt float 0.02
+         & info [ "max-hpwl-regress" ]
+           ~doc:"Maximum tolerated relative HPWL increase (e.g. 0.02 = 2%).")
+  in
+  let max_time =
+    Arg.(value & opt float 0.25
+         & info [ "max-time-regress" ]
+           ~doc:"Maximum tolerated relative total-time increase.")
+  in
+  let run base cand max_hpwl max_time =
+    let read path =
+      match Fbp_obs.Recorder.read_file path with
+      | Ok r -> Ok r
+      | Error msg ->
+        Printf.eprintf "cannot read run record %s: %s\n" path msg;
+        Error (Err.exit_code (Err.Parse_error { file = path; line = 0; msg }))
+    in
+    match (read base, read cand) with
+    | Error c, _ | _, Error c -> c
+    | Ok b, Ok c ->
+      let cmp =
+        Fbp_obs.Recorder.diff ~max_hpwl_regress:max_hpwl
+          ~max_time_regress:max_time ~base:b ~cand:c
+      in
+      List.iter print_endline cmp.Fbp_obs.Recorder.lines;
+      if cmp.Fbp_obs.Recorder.regressions = [] then begin
+        Printf.printf "ok: no regressions (%s vs %s)\n" base cand;
+        0
+      end
+      else begin
+        Printf.printf "FAIL: %d regression(s)\n"
+          (List.length cmp.Fbp_obs.Recorder.regressions);
+        1
+      end
+  in
+  Cmd.v
+    (Cmd.info "diff-record"
+       ~doc:"Compare two run records and exit non-zero if the candidate \
+             regresses HPWL, wall time, legality, or movebound violations \
+             beyond the thresholds.")
+    Term.(const run $ base $ cand $ max_hpwl $ max_time)
+
+(* ------------------------------------------------------- metrics-check *)
+
+let metrics_check_cmd =
+  let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"METRICS") in
+  let run input =
+    match Fbp_obs.Obs.validate_metrics_file input with
+    | Ok n ->
+      Printf.printf "ok: %d metrics\n" n;
+      0
+    | Error msg ->
+      Printf.eprintf "invalid metrics: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "metrics-check"
+       ~doc:"Validate a metrics JSON file (counters integral, histogram \
+             summaries complete, keys sorted).")
     Term.(const run $ input)
 
 (* -------------------------------------------------------------- tables *)
@@ -245,4 +380,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; check_cmd; place_cmd; tables_cmd; trace_check_cmd ]))
+          [ generate_cmd; check_cmd; place_cmd; report_cmd; diff_record_cmd;
+            metrics_check_cmd; tables_cmd; trace_check_cmd ]))

@@ -20,11 +20,11 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== bench smoke (BENCH_pr2.json)"
-FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr2.json" dune exec bench/main.exe >/dev/null
-for key in schema designs phase_times counters histograms hpwl total_time; do
-  grep -q "\"$key\"" "$tmp/BENCH_pr2.json" \
-    || { echo "BENCH_pr2.json missing key: $key"; exit 1; }
+echo "== bench smoke (BENCH_pr3.json)"
+FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr3.json" dune exec bench/main.exe >/dev/null
+for key in schema smoke designs phase_times counters histograms hpwl total_time; do
+  grep -q "\"$key\"" "$tmp/BENCH_pr3.json" \
+    || { echo "BENCH_pr3.json missing key: $key"; exit 1; }
 done
 
 echo "== observability smoke (--trace / --metrics)"
@@ -39,9 +39,40 @@ for span in place.level place.qp place.flow place.realization realization.wave; 
     || { echo "trace missing span: $span"; exit 1; }
 done
 for metric in cg.iterations mcf.dijkstra_rounds transport.pivots \
-              realization.shipped_cells realization.wave_width; do
+              realization.shipped_cells realization.wave_width \
+              gc.major_collections gc.heap_words; do
   grep -q "\"$metric\"" "$tmp/metrics.json" \
     || { echo "metrics missing: $metric"; exit 1; }
+done
+$fbp metrics-check "$tmp/metrics.json" >/dev/null \
+  || { echo "emitted metrics failed validation"; exit 1; }
+
+echo "== flight recorder loop (--record / report / diff-record)"
+$fbp place "$tmp/smoke.book" --movebounds 2 --record "$tmp/run.json" >/dev/null
+for key in schema version provenance levels legalization density totals; do
+  grep -q "\"$key\"" "$tmp/run.json" \
+    || { echo "run.json missing key: $key"; exit 1; }
+done
+$fbp report "$tmp/run.json" -o "$tmp/report.html" >/dev/null
+for marker in convergence phase-times density-heatmap level-row; do
+  grep -q "$marker" "$tmp/report.html" \
+    || { echo "report.html missing marker: $marker"; exit 1; }
+done
+# self-diff must be clean ...
+$fbp diff-record "$tmp/run.json" "$tmp/run.json" >/dev/null \
+  || { echo "diff-record regressed against itself"; exit 1; }
+# ... and a deliberately worse run (larger design = higher HPWL) must gate
+$fbp generate --cells 1800 --seed 8 -o "$tmp/worse.book" >/dev/null
+$fbp place "$tmp/worse.book" --movebounds 2 --record "$tmp/worse.json" >/dev/null
+if $fbp diff-record "$tmp/run.json" "$tmp/worse.json" >/dev/null 2>&1; then
+  echo "diff-record failed to flag a regressed run"; exit 1
+fi
+
+echo "== example figures (regenerates out/fig*.svg)"
+dune exec examples/figures.exe >/dev/null \
+  || { echo "examples/figures.exe failed"; exit 1; }
+for fig in fig1_movebounds fig1_regions fig2 fig3 fig4_step1_flow fig4_step2_realized; do
+  [ -s "out/$fig.svg" ] || { echo "missing figure: out/$fig.svg"; exit 1; }
 done
 
 echo "OK"

@@ -120,3 +120,15 @@ let bin_utilization (d : Fbp_netlist.Design.t) (p : Fbp_netlist.Placement.t) ~nx
     end
   done;
   (usage, cap)
+
+(* Scalar overflow figure for the flight recorder's per-level trajectory:
+   the fraction of total capacity that sits above per-bin capacity. *)
+let overflow_fraction d p ~nx ~ny =
+  let usage, cap = bin_utilization d p ~nx ~ny in
+  let over = ref 0.0 and total = ref 0.0 in
+  Array.iteri
+    (fun i u ->
+      over := !over +. Float.max 0.0 (u -. cap.(i));
+      total := !total +. cap.(i))
+    usage;
+  if !total <= 0.0 then 0.0 else !over /. !total

@@ -31,3 +31,8 @@ val usable_rows_area : t -> chip:Rect.t -> row_height:float -> Rect_set.t -> Rec
 val bin_utilization :
   Fbp_netlist.Design.t -> Fbp_netlist.Placement.t -> nx:int -> ny:int ->
   float array * float array
+
+(** Fraction of total bin capacity exceeded by usage (0 = no bin overfull);
+    the scalar density-overflow trajectory the flight recorder snapshots. *)
+val overflow_fraction :
+  Fbp_netlist.Design.t -> Fbp_netlist.Placement.t -> nx:int -> ny:int -> float

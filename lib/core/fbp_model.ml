@@ -67,6 +67,7 @@ type external_flow = {
 type solution = {
   model : t;
   verdict : Mcf.result;
+  mcf_rounds : int;
   (* area of class m prescribed to land in piece p: allot.(p * n_classes + m) *)
   allot : float array;
   externals : external_flow list;
@@ -385,7 +386,7 @@ let greedy_seed (t : t) =
 
 let solve ?(exact = false) (t : t) =
   let supply = if exact then t.supply else greedy_seed t in
-  let verdict = Mcf.solve t.graph ~supply in
+  let verdict, mcf_stats = Mcf.solve_stats t.graph ~supply in
   (match verdict with Mcf.Feasible _ -> cancel_external_cycles t | Mcf.Infeasible _ -> ());
   let allot = Array.make (Grid.n_pieces t.grid * t.n_classes) 0.0 in
   let externals = ref [] in
@@ -403,6 +404,7 @@ let solve ?(exact = false) (t : t) =
           externals := { xm = m; from_w; to_w; from_dir; amount = f } :: !externals
         | Cell_to_transit _ | Transit_to_transit _ -> ())
     t.arcs;
-  { model = t; verdict; allot; externals = List.rev !externals }
+  { model = t; verdict; mcf_rounds = mcf_stats.Mcf.rounds; allot;
+    externals = List.rev !externals }
 
 let allotment (s : solution) ~piece ~m = s.allot.((piece * s.model.n_classes) + m)

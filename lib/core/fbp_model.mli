@@ -46,6 +46,7 @@ type external_flow = {
 type solution = {
   model : t;
   verdict : Mcf.result;
+  mcf_rounds : int;  (** Dijkstra rounds the MinCostFlow solve took *)
   allot : float array;
       (** area of class m prescribed to piece p at [p * n_classes + m] *)
   externals : external_flow list;  (** flow-carrying external arcs (a DAG) *)

@@ -36,7 +36,11 @@ type level_report = {
   flow_time : float;  (* model build + MinCostFlow *)
   realization_time : float;
   hpwl : float;
+  cg_iterations : int;
+  cg_residual : float;
   cg_converged : bool;  (* this level's QP solves converged *)
+  mcf_cost : float;
+  mcf_rounds : int;
   realization : Realization.stats;
 }
 
@@ -375,7 +379,7 @@ let place ?(config = Config.default) ?on_level ?fallback
               match sol.Fbp_model.verdict with
               | Fbp_flow.Mcf.Infeasible { unrouted } ->
                 raise (Abort (Err.Infeasible_flow { unrouted; level }))
-              | Fbp_flow.Mcf.Feasible _ ->
+              | Fbp_flow.Mcf.Feasible { cost = mcf_cost } ->
                 let r, realization_time =
                   Fbp_util.Timer.time (fun () ->
                       Fbp_obs.Obs.span "place.realization"
@@ -400,11 +404,52 @@ let place ?(config = Config.default) ?on_level ?fallback
                     flow_time;
                     realization_time;
                     hpwl;
+                    cg_iterations = qp_stats.Qp.cg_iterations;
+                    cg_residual = qp_stats.Qp.residual;
                     cg_converged = qp_stats.Qp.converged;
+                    mcf_cost;
+                    mcf_rounds = sol.Fbp_model.mcf_rounds;
                     realization = r.Realization.stats;
                   }
                 in
                 levels := rep :: !levels;
+                (* level boundary: GC gauges for the metrics export, and a
+                   flight-recorder snapshot when [--record] armed it (the
+                   density/legality audits only run in that case) *)
+                Fbp_obs.Obs.sample_gc ();
+                if Fbp_obs.Recorder.enabled () then begin
+                  let module R = Fbp_obs.Recorder in
+                  R.record_level
+                    {
+                      R.level;
+                      nx;
+                      ny;
+                      n_windows = rep.n_windows;
+                      n_pieces = rep.n_pieces;
+                      flow_nodes = rep.flow_nodes;
+                      flow_edges = rep.flow_edges;
+                      hpwl;
+                      density_overflow =
+                        Density.overflow_fraction design pos ~nx ~ny;
+                      mb_violations =
+                        (Fbp_movebound.Legality.check inst pos)
+                          .Fbp_movebound.Legality.n_violations;
+                      cg_iterations = qp_stats.Qp.cg_iterations;
+                      cg_residual = qp_stats.Qp.residual;
+                      cg_converged = qp_stats.Qp.converged;
+                      mcf_cost;
+                      mcf_rounds = sol.Fbp_model.mcf_rounds;
+                      waves = r.Realization.stats.Realization.n_waves;
+                      shipped_cells =
+                        r.Realization.stats.Realization.n_shipped_cells;
+                      fallback_cells =
+                        r.Realization.stats.Realization.n_fallback_cells;
+                      qp_time;
+                      flow_time;
+                      realization_time;
+                      gc = R.gc_boundary ();
+                    }
+                end;
                 log_verbose config "[fbp] level %d: %dx%d windows, %d pieces, hpwl %.3e\n"
                   level nx ny (Grid.n_pieces grid) hpwl;
                 (match on_level with Some f -> f rep | None -> ()))

@@ -15,7 +15,11 @@ type level_report = {
   flow_time : float;  (** model build + MinCostFlow *)
   realization_time : float;
   hpwl : float;
+  cg_iterations : int;  (** CG iterations of this level's QP solve *)
+  cg_residual : float;  (** final CG residual *)
   cg_converged : bool;  (** this level's QP solves converged *)
+  mcf_cost : float;  (** MinCostFlow objective ([nan] before level 1) *)
+  mcf_rounds : int;  (** successive-shortest-paths Dijkstra rounds *)
   realization : Realization.stats;
 }
 

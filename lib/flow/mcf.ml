@@ -20,6 +20,8 @@ type result =
       (** Total supply that cannot reach any deficit node.  By Theorem 3 this
           certifies that no (fractional) placement with movebounds exists. *)
 
+type stats = { rounds : int }
+
 let solve_real g ~supply =
   let n = Graph.n_nodes g in
   if Array.length supply <> n then invalid_arg "Mcf.solve: supply length";
@@ -124,20 +126,26 @@ let solve_real g ~supply =
   done;
   Fbp_obs.Obs.count "mcf.solves";
   Fbp_obs.Obs.observe "mcf.dijkstra_rounds" (float_of_int !rounds);
-  if !unrouted > eps then Infeasible { unrouted = !unrouted }
-  else Feasible { cost = !total_cost }
+  let verdict =
+    if !unrouted > eps then Infeasible { unrouted = !unrouted }
+    else Feasible { cost = !total_cost }
+  in
+  (verdict, { rounds = !rounds })
 
 let solve_real g ~supply =
   Fbp_obs.Obs.span "mcf.solve" (fun () -> solve_real g ~supply)
 
 (* Fault-injection shim: tests can force an infeasibility verdict or a
    domain exception here to exercise the placer's degradation ladder. *)
-let solve g ~supply =
+let solve_stats g ~supply =
   match Fbp_resilience.Inject.fire Fbp_resilience.Inject.Mcf with
-  | Some (Fbp_resilience.Inject.Infeasible unrouted) -> Infeasible { unrouted }
+  | Some (Fbp_resilience.Inject.Infeasible unrouted) ->
+    (Infeasible { unrouted }, { rounds = 0 })
   | Some (Fbp_resilience.Inject.Raise msg) ->
     raise (Fbp_resilience.Inject.Injected msg)
   | _ -> solve_real g ~supply
+
+let solve g ~supply = fst (solve_stats g ~supply)
 
 (* Optimality audit used by property tests: a flow is min-cost iff the
    residual network contains no arc with negative reduced cost under some

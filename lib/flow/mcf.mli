@@ -11,11 +11,18 @@ type result =
       (** Total supply that cannot reach any deficit — by Theorem 3 a
           certificate that no fractional placement with movebounds exists. *)
 
+(** Solver effort counters, for the quality flight recorder
+    ({!Fbp_obs.Recorder}) and the Table I instrumentation. *)
+type stats = { rounds : int  (** multi-source Dijkstra rounds *) }
+
 (** [solve g ~supply] computes a min-cost flow satisfying node balances:
     [supply.(v) > 0] is supply, [< 0] demand. Total supply may be less than
     total demand (demands are upper bounds). Raises [Invalid_argument] on a
     length mismatch or negative arc cost. *)
 val solve : Graph.t -> supply:float array -> result
+
+(** {!solve} plus the solver effort counters of the run. *)
+val solve_stats : Graph.t -> supply:float array -> result * stats
 
 (** Audit: does the residual network contain no negative cycle (i.e. is the
     current flow of minimum cost)? Used by property tests. *)

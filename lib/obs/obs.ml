@@ -38,12 +38,17 @@ let enabled () = Atomic.get enabled_flag
 let enable () = Atomic.set enabled_flag true
 let disable () = Atomic.set enabled_flag false
 
+(* GC baseline for [sample_gc]: counters report collections/compactions
+   since the last [reset], not since process start. *)
+let gc_base : Gc.stat option ref = ref None
+
 let reset () =
   with_lock (fun () ->
       events := [];
       event_count := 0;
       Hashtbl.reset counters;
       Hashtbl.reset histograms;
+      gc_base := Some (Gc.quick_stat ());
       epoch := Fbp_util.Timer.now ())
 
 let record name ph args =
@@ -74,6 +79,33 @@ let observe name v =
         match Hashtbl.find_opt histograms name with
         | Some r -> r := v :: !r
         | None -> Hashtbl.add histograms name (ref [ v ]))
+
+let sample_gc () =
+  if enabled () then begin
+    let s = Gc.quick_stat () in
+    with_lock (fun () ->
+        let base =
+          match !gc_base with
+          | Some b -> b
+          | None ->
+            gc_base := Some s;
+            s
+        in
+        (* gauges with monotonic sampling: replace, don't accumulate *)
+        Hashtbl.replace counters "gc.major_collections"
+          (s.Gc.major_collections - base.Gc.major_collections);
+        Hashtbl.replace counters "gc.compactions"
+          (s.Gc.compactions - base.Gc.compactions);
+        let r =
+          match Hashtbl.find_opt histograms "gc.heap_words" with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add histograms "gc.heap_words" r;
+            r
+        in
+        r := float_of_int s.Gc.heap_words :: !r)
+  end
 
 let counter_value name =
   with_lock (fun () ->
@@ -344,6 +376,44 @@ module Json = struct
   let member key = function
     | Obj kvs -> List.assoc_opt key kvs
     | _ -> None
+
+  let to_string v =
+    let b = Buffer.create 256 in
+    let add_str s =
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    in
+    let rec go = function
+      | Null -> Buffer.add_string b "null"
+      | Bool x -> Buffer.add_string b (string_of_bool x)
+      | Num f ->
+        (* %.17g round-trips any finite float through [parse] *)
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string b (Printf.sprintf "%.0f" f)
+        else Buffer.add_string b (Printf.sprintf "%.17g" f)
+      | Str s -> add_str s
+      | Arr xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            go x)
+          xs;
+        Buffer.add_char b ']'
+      | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char b ',';
+            add_str k;
+            Buffer.add_char b ':';
+            go x)
+          kvs;
+        Buffer.add_char b '}'
+    in
+    go v;
+    Buffer.contents b
 end
 
 let validate_trace doc =
@@ -402,11 +472,72 @@ let validate_trace doc =
              Error (Printf.sprintf "tid %d: span \"%s\" never closed" tid name)))
      | _ -> Error "no traceEvents array")
 
-let validate_trace_file path =
+let read_whole_file path =
   let ic = open_in_bin path in
-  let doc =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  validate_trace doc
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let validate_trace_file path = validate_trace (read_whole_file path)
+
+let validate_metrics doc =
+  match Json.parse doc with
+  | Error msg -> Error ("JSON parse failed: " ^ msg)
+  | Ok root ->
+    let sorted what keys =
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+          if compare a b > 0 then
+            Error (Printf.sprintf "%s keys not sorted: %S after %S" what b a)
+          else go rest
+        | _ -> Ok ()
+      in
+      go keys
+    in
+    let ( let* ) = Result.bind in
+    let obj what =
+      match Json.member what root with
+      | Some (Json.Obj kvs) -> Ok kvs
+      | Some _ -> Error (Printf.sprintf "%S is not an object" what)
+      | None -> Error (Printf.sprintf "no %S object" what)
+    in
+    let* cs = obj "counters" in
+    let* hs = obj "histograms" in
+    let* () = sorted "counter" (List.map fst cs) in
+    let* () = sorted "histogram" (List.map fst hs) in
+    let* () =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* () = acc in
+          match v with
+          | Json.Num f when Float.is_integer f -> Ok ()
+          | _ -> Error (Printf.sprintf "counter %S is not an integer" k))
+        (Ok ()) cs
+    in
+    let* () =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* () = acc in
+          let num field =
+            match Json.member field v with
+            | Some (Json.Num f) -> Ok f
+            | _ ->
+              Error (Printf.sprintf "histogram %S summary lacks %S" k field)
+          in
+          let* count = num "count" in
+          if not (Float.is_integer count && count >= 0.0) then
+            Error (Printf.sprintf "histogram %S count is not a natural" k)
+          else if count = 0.0 then Ok ()
+          else
+            List.fold_left
+              (fun acc field ->
+                let* () = acc in
+                let* _ = num field in
+                Ok ())
+              (Ok ())
+              [ "sum"; "p50"; "p90"; "p99" ])
+        (Ok ()) hs
+    in
+    Ok (List.length cs + List.length hs)
+
+let validate_metrics_file path = validate_metrics (read_whole_file path)

@@ -41,6 +41,12 @@ val count : ?n:int -> string -> unit
 (** [observe name v] appends [v] to the histogram [name]. *)
 val observe : string -> float -> unit
 
+(** Sample [Gc.quick_stat] into the registry: counters
+    [gc.major_collections] / [gc.compactions] (totals since the last
+    {!reset}) and a [gc.heap_words] histogram observation.  Intended to be
+    called at level boundaries; a no-op (one atomic read) when disabled. *)
+val sample_gc : unit -> unit
+
 (** Current counter value; 0 when the counter was never touched. *)
 val counter_value : string -> int
 
@@ -78,6 +84,9 @@ module Json : sig
 
   (** First member with this key, when the value is an object. *)
   val member : string -> t -> t option
+
+  (** Serialize (compact; floats round-trip through {!parse}). *)
+  val to_string : t -> string
 end
 
 (** Validate a Chrome trace document: parses, has a ["traceEvents"] array,
@@ -87,3 +96,13 @@ val validate_trace : string -> (int, string) result
 
 (** {!validate_trace} on a file's contents. *)
 val validate_trace_file : string -> (int, string) result
+
+(** Validate a metrics document against the documented schema: a
+    ["counters"] object whose values are all integral numbers, a
+    ["histograms"] object whose summaries carry [count] (plus
+    [sum]/[p50]/[p90]/[p99] whenever [count > 0]), and both key sets in
+    sorted order.  Returns the number of metrics validated. *)
+val validate_metrics : string -> (int, string) result
+
+(** {!validate_metrics} on a file's contents. *)
+val validate_metrics_file : string -> (int, string) result

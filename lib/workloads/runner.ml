@@ -66,7 +66,7 @@ let run_fbp ?(config = Fbp_core.Config.default) ?(repartition = 1)
         ~grid:rep.Fbp_core.Placer.final_grid
     in
     let legal, violations = audit_of inst_n pos in
-    Ok
+    let m =
       {
         tool = "BonnPlace FBP (repro)";
         hpwl = Hpwl.total nl pos;
@@ -82,6 +82,40 @@ let run_fbp ?(config = Fbp_core.Config.default) ?(repartition = 1)
         degradations = rep.Fbp_core.Placer.degradations;
         placement = pos;
       }
+    in
+    (* flight recorder: the legalization snapshot, the final-placement
+       density heatmap, and the run totals (only when [--record] armed it) *)
+    if Fbp_obs.Recorder.enabled () then begin
+      let module R = Fbp_obs.Recorder in
+      let design = inst_n.Fbp_movebound.Instance.design in
+      let hnx, hny = (24, 24) in
+      let usage, capacity =
+        Fbp_core.Density.bin_utilization design pos ~nx:hnx ~ny:hny
+      in
+      R.record_legalization
+        {
+          R.leg_hpwl = m.hpwl;
+          leg_density_overflow =
+            Fbp_core.Density.overflow_fraction design pos ~nx:hnx ~ny:hny;
+          leg_mb_violations = violations;
+          leg_time = lst.Fbp_legalize.Legalizer.time;
+          spilled = lst.Fbp_legalize.Legalizer.n_spilled;
+          failed = lst.Fbp_legalize.Legalizer.n_failed;
+          avg_displacement = lst.Fbp_legalize.Legalizer.avg_displacement;
+          max_displacement = lst.Fbp_legalize.Legalizer.max_displacement;
+        };
+      R.set_density { R.dnx = hnx; dny = hny; usage; capacity };
+      R.set_totals
+        {
+          R.hpwl = m.hpwl;
+          global_time = m.global_time;
+          legalize_time = m.legalize_time;
+          total_time = m.total_time;
+          legal = m.legal;
+          violations = m.violations;
+        }
+    end;
+    Ok m
 
 let run_rql ?params (inst : Fbp_movebound.Instance.t) =
   match Fbp_baselines.Rql.place ?params inst with

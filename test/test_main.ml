@@ -4,6 +4,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("recorder", Test_recorder.suite);
       ("geometry", Test_geometry.suite);
       ("flow", Test_flow.suite);
       ("netlist", Test_netlist.suite);
