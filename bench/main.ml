@@ -12,6 +12,10 @@
 
 let quick () = Sys.getenv_opt "FBP_BENCH_QUICK" <> None
 
+let print_table t =
+  print_string (Fbp_util.Table.render t);
+  print_newline ()
+
 let section title =
   Printf.printf "\n==================== %s ====================\n\n%!" title
 
@@ -53,7 +57,7 @@ let ablation_table () =
     "refinement stops early";
   (* BestChoice clustering (the paper's setup: ratio 5): cluster, place the
      coarse netlist, expand, then refine flat *)
-  (let t0 = Unix.gettimeofday () in
+  (let t0 = Fbp_util.Timer.now () in
    let nl = d.Fbp_netlist.Design.netlist in
    let cl = Fbp_netlist.Clustering.best_choice ~ratio:5.0 nl in
    let coarse_design =
@@ -77,7 +81,7 @@ let ablation_table () =
           [
             "fbp + BestChoice r=5";
             Printf.sprintf "%.1fk" (m.Fbp_workloads.Runner.hpwl /. 1e3);
-            Fbp_util.Duration.pretty (Unix.gettimeofday () -. t0);
+            Fbp_util.Duration.pretty (Fbp_util.Timer.now () -. t0);
             Printf.sprintf "%d coarse cells seed the flat pass"
               (Fbp_netlist.Netlist.n_cells cl.Fbp_netlist.Clustering.coarse);
           ]));
@@ -85,14 +89,14 @@ let ablation_table () =
   (match Fbp_core.Placer.place inst with
    | Error e -> Fbp_util.Table.add_row t [ "fbp + flow legalizer"; "error: " ^ Fbp_resilience.Fbp_error.to_string e; "-"; "" ]
    | Ok rep ->
-     let t0 = Unix.gettimeofday () in
+     let t0 = Fbp_util.Timer.now () in
      let pos = Fbp_netlist.Placement.copy rep.Fbp_core.Placer.placement in
      let st = Fbp_legalize.Flow_legalizer.run inst rep.Fbp_core.Placer.regions pos in
      Fbp_util.Table.add_row t
        [
          "fbp + flow legalizer [6]";
          Printf.sprintf "%.1fk" (Fbp_netlist.Hpwl.total d.Fbp_netlist.Design.netlist pos /. 1e3);
-         Fbp_util.Duration.pretty (Unix.gettimeofday () -. t0);
+         Fbp_util.Duration.pretty (Fbp_util.Timer.now () -. t0);
          Printf.sprintf "avg displacement %.2f rows (Tetris default shown above)"
            st.Fbp_legalize.Flow_legalizer.avg_displacement;
        ]);
@@ -108,7 +112,7 @@ let ablation_table () =
          Printf.sprintf "%d local capacity overruns (the Section-IV drawback)"
            r.Fbp_baselines.Recursive.overflow_events;
        ]);
-  Fbp_util.Table.print t
+  print_table t
 
 (* --------------------------------------------------------- parallel scan *)
 
@@ -146,7 +150,7 @@ let parallel_table () =
           string_of_bool same;
         ])
     [ 1; 2; 4; 8 ];
-  Fbp_util.Table.print t
+  print_table t
 
 (* ------------------------------------------------------------- bechamel *)
 
@@ -289,14 +293,95 @@ let emit_bench_json () =
   Fbp_obs.Obs.disable ();
   Printf.printf "wrote %s\n%!" path
 
+(* BENCH_pr4.json: sanitizer-mode overhead.  Each design is placed with the
+   flow-invariant sanitizer off and on (best of [reps] runs to damp timer
+   noise); the JSON records both times, the overhead percentage, the number
+   of checks executed, and whether the sanitized run reproduced the same
+   HPWL (it must: checks only read solver state).  Also measures the
+   disabled-check fast path — one atomic read — in ns/call, which is the
+   cost every production run pays per instrumented site.
+   FBP_BENCH_SMOKE=1 emits with "smoke":true; FBP_BENCH_JSON4 overrides the
+   output path. *)
+let emit_sanitizer_json () =
+  let path =
+    match Sys.getenv_opt "FBP_BENCH_JSON4" with
+    | Some p -> p
+    | None -> "BENCH_pr4.json"
+  in
+  let reps =
+    match Sys.getenv_opt "FBP_BENCH_REPS" with
+    | Some r -> (try max 1 (int_of_string r) with Failure _ -> 3)
+    | None -> if Sys.getenv_opt "FBP_BENCH_SMOKE" <> None then 2 else 3
+  in
+  let place name =
+    let spec = Option.get (Fbp_workloads.Designs.find_spec name) in
+    let d = Fbp_workloads.Designs.instantiate spec in
+    let inst = Fbp_movebound.Instance.unconstrained d in
+    match Fbp_workloads.Runner.run_fbp inst with
+    | Error e -> Error (Fbp_resilience.Fbp_error.to_string e)
+    | Ok m -> Ok (m.Fbp_workloads.Runner.hpwl, m.Fbp_workloads.Runner.total_time)
+  in
+  let best name =
+    let rec go best_time hpwl r =
+      if r = 0 then Ok (hpwl, best_time)
+      else
+        match place name with
+        | Error e -> Error e
+        | Ok (h, t) -> go (Float.min best_time t) h (r - 1)
+    in
+    go infinity nan reps
+  in
+  let one name =
+    Fbp_resilience.Sanitize.set_enabled false;
+    let off = best name in
+    Fbp_resilience.Sanitize.set_enabled true;
+    let c0 = Fbp_resilience.Sanitize.checks_run () in
+    let on_ = best name in
+    let checks = Fbp_resilience.Sanitize.checks_run () - c0 in
+    Fbp_resilience.Sanitize.set_enabled false;
+    match (off, on_) with
+    | Error e, _ | _, Error e -> Printf.sprintf "    {\"name\":%S,\"error\":%S}" name e
+    | Ok (h_off, t_off), Ok (h_on, t_on) ->
+      let overhead = 100.0 *. ((t_on -. t_off) /. t_off) in
+      Printf.sprintf
+        "    {\"name\":%S,\"off_time\":%.6f,\"on_time\":%.6f,\
+         \"overhead_pct\":%.2f,\"checks_run\":%d,\"hpwl\":%.6e,\
+         \"hpwl_match\":%b}"
+        name t_off t_on overhead (checks / reps) h_off
+        (Float.abs (h_on -. h_off) <= 1e-9 *. Float.max 1.0 (Float.abs h_off))
+  in
+  let names = [ "rabe"; "ashraf" ] in
+  let designs = List.map one names in
+  (* disabled fast path: ns per check call when the sanitizer is off *)
+  let disabled_ns =
+    Fbp_resilience.Sanitize.set_enabled false;
+    let n = 2_000_000 in
+    let t0 = Fbp_util.Timer.now () in
+    for _ = 1 to n do
+      Fbp_resilience.Sanitize.check ~site:"bench" ~invariant:"noop" (fun () ->
+          Ok ())
+    done;
+    1e9 *. (Fbp_util.Timer.now () -. t0) /. float_of_int n
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\"schema\":\"fbp-bench-pr4\",\n\"smoke\":%b,\n\"sanitizer\":{\n\
+     \"designs\":[\n%s\n],\n\"disabled_check_ns\":%.2f\n}\n}\n"
+    (Sys.getenv_opt "FBP_BENCH_SMOKE" <> None)
+    (String.concat ",\n" designs)
+    disabled_ns;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
   if Sys.getenv_opt "FBP_BENCH_SMOKE" <> None then begin
     emit_bench_json ();
+    emit_sanitizer_json ();
     exit 0
   end;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Fbp_util.Timer.now () in
   Printf.printf
     "BonnPlace-FBP reproduction benchmark harness\nscale=%.1f cells/paper-kilocell%s\n"
     (Fbp_workloads.Designs.scale ())
@@ -304,42 +389,43 @@ let () =
   let quick_names = if quick () then Some Fbp_workloads.Designs.quick_names else None in
   section "TABLE I";
   let t1, _ = Fbp_workloads.Tables.table1 ~design:(if quick () then "rabe" else "erhard") () in
-  Fbp_util.Table.print t1;
+  print_table t1;
   section "TABLE II";
   let t2, _ = Fbp_workloads.Tables.table2 ?names:quick_names () in
-  Fbp_util.Table.print t2;
+  print_table t2;
   section "TABLE III";
   let t3, _ = Fbp_workloads.Tables.table3 () in
-  Fbp_util.Table.print t3;
+  print_table t3;
   section "TABLES IV + VI";
   let scenarios =
     if quick () then
       List.filter
         (fun (s : Fbp_workloads.Mb_gen.scenario) ->
-          List.mem s.Fbp_workloads.Mb_gen.design [ "rabe"; "ashraf"; "erhard" ])
+          List.exists (String.equal s.Fbp_workloads.Mb_gen.design) [ "rabe"; "ashraf"; "erhard" ])
         Fbp_workloads.Mb_gen.table3_scenarios
     else Fbp_workloads.Mb_gen.table3_scenarios
   in
   let t4, rows4 = Fbp_workloads.Tables.table4 ~scenarios () in
-  Fbp_util.Table.print t4;
-  Fbp_util.Table.print (Fbp_workloads.Tables.table6 rows4);
+  print_table t4;
+  print_table (Fbp_workloads.Tables.table6 rows4);
   section "TABLE V";
   let designs5 =
     if quick () then [ "rabe"; "ashraf" ] else Fbp_workloads.Mb_gen.table5_designs
   in
   let t5, _ = Fbp_workloads.Tables.table5 ~designs:designs5 () in
-  Fbp_util.Table.print t5;
+  print_table t5;
   section "TABLE VII";
   let specs7 =
     if quick () then
       List.filteri (fun i _ -> i < 2) (Array.to_list Fbp_workloads.Ispd.specs)
     else Array.to_list Fbp_workloads.Ispd.specs
   in
-  Fbp_util.Table.print (Fbp_workloads.Tables.table7 ~specs:specs7 ());
+  print_table (Fbp_workloads.Tables.table7 ~specs:specs7 ());
   section "ABLATIONS";
   ablation_table ();
   parallel_table ();
   section "MICRO-BENCHMARKS";
   bechamel_suite ();
   emit_bench_json ();
-  Printf.printf "\ntotal bench wall time: %s\n" (Fbp_util.Duration.pretty (Unix.gettimeofday () -. t0))
+  emit_sanitizer_json ();
+  Printf.printf "\ntotal bench wall time: %s\n" (Fbp_util.Duration.pretty (Fbp_util.Timer.now () -. t0))

@@ -1,0 +1,87 @@
+(* fbp-lint CLI: lint the repo's own sources with the Fbp_analysis rules.
+
+   Exit codes: 0 clean, 1 findings, 2 file/parse errors (or bad usage).
+   Run from the repo root (paths are repo-relative); the @lint alias does
+   this under dune with the source tree as dependencies. *)
+
+let usage =
+  "usage: fbp_lint [--json] [--baseline FILE] [--update-baseline] [--rules] \
+   [PATH...]\n\
+   Lints .ml files under the given paths (default: lib bin bench).\n\
+  \  --json             emit a JSON report instead of text\n\
+  \  --baseline FILE    hide findings listed in FILE (one file:line:rule per \
+   line)\n\
+  \  --update-baseline  rewrite FILE with the current findings and exit 0\n\
+  \  --rules            list the rule catalogue and exit\n"
+
+let () =
+  let json = ref false in
+  let baseline = ref None in
+  let update = ref false in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let bad msg =
+    prerr_string (msg ^ "\n" ^ usage);
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--baseline" :: file :: rest ->
+      baseline := Some file;
+      parse rest
+    | "--baseline" :: [] -> bad "--baseline needs a file argument"
+    | "--update-baseline" :: rest ->
+      update := true;
+      parse rest
+    | "--rules" :: rest ->
+      list_rules := true;
+      parse rest
+    | "--help" :: _ | "-h" :: _ ->
+      print_string usage;
+      exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+      bad ("unknown option " ^ arg)
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_rules then begin
+    List.iter
+      (fun (id, summary) -> Printf.printf "%-17s %s\n" id summary)
+      Fbp_analysis.Rules.catalogue;
+    exit 0
+  end;
+  let roots =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  in
+  if !update then begin
+    let file =
+      match !baseline with
+      | Some f -> f
+      | None -> bad "--update-baseline needs --baseline FILE"
+    in
+    let report = Fbp_analysis.Lint.run_paths roots in
+    let oc = open_out file in
+    output_string oc
+      "# fbp-lint baseline: one file:line:rule per line. Policy: keep empty.\n";
+    output_string oc
+      (Fbp_analysis.Lint.baseline_of report.Fbp_analysis.Lint.diagnostics);
+    close_out oc;
+    Printf.eprintf "fbp-lint: wrote %d key(s) to %s\n"
+      (List.length report.Fbp_analysis.Lint.diagnostics)
+      file;
+    exit 0
+  end;
+  let report = Fbp_analysis.Lint.run_paths ?baseline:!baseline roots in
+  print_string
+    (if !json then Fbp_analysis.Lint.render_json report
+     else Fbp_analysis.Lint.render_text report);
+  match (report.Fbp_analysis.Lint.errors, report.Fbp_analysis.Lint.diagnostics)
+  with
+  | [], [] -> exit 0
+  | [], _ -> exit 1
+  | _, _ -> exit 2

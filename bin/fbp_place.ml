@@ -14,6 +14,10 @@
 open Cmdliner
 module Err = Fbp_resilience.Fbp_error
 
+let print_table t =
+  print_string (Fbp_util.Table.render t);
+  print_newline ()
+
 let read_design path = Fbp_netlist.Bookshelf.read_file_result path
 
 let fail_typed e =
@@ -113,6 +117,16 @@ let place_cmd =
            ~doc:"Fail with a typed error instead of degrading gracefully \
                  (reports Theorem 3 infeasibility certificates as errors).")
   in
+  let sanitize =
+    Arg.(value & flag
+         & info [ "sanitize" ]
+           ~doc:"Run flow-invariant sanitizer checks at solver-stage \
+                 boundaries (MCF conservation and capacity bounds, \
+                 transport row/column balance, CSR well-formedness, \
+                 post-realization movebound containment); a violation \
+                 stops the run with exit code 8.  Also enabled by \
+                 $(b,FBP_SANITIZE=1).")
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ]
@@ -134,7 +148,8 @@ let place_cmd =
                  $(docv); render it with $(b,fbp_place report), gate CI \
                  with $(b,fbp_place diff-record)." ~docv:"FILE")
   in
-  let run input tool movebounds domains svg deadline strict trace metrics record =
+  let run input tool movebounds domains svg deadline strict sanitize trace metrics record =
+    if sanitize then Fbp_resilience.Sanitize.set_enabled true;
     let module Obs = Fbp_obs.Obs in
     let module Rec = Fbp_obs.Recorder in
     if trace <> None || metrics <> None || record <> None then begin
@@ -179,7 +194,8 @@ let place_cmd =
           tool = (match tool with `Fbp -> "fbp" | `Rql -> "rql" | `Kw -> "kraftwerk");
           config =
             [ ("domains", string_of_int domains);
-              ("strict", string_of_bool strict) ]
+              ("strict", string_of_bool strict);
+              ("sanitize", string_of_bool (Fbp_resilience.Sanitize.enabled ())) ]
             @ (match deadline with
                | Some dl -> [ ("deadline", Printf.sprintf "%g" dl) ]
                | None -> []);
@@ -221,7 +237,7 @@ let place_cmd =
   in
   Cmd.v (Cmd.info "place" ~doc:"Place a design.")
     Term.(const run $ input $ tool $ movebounds $ domains $ svg $ deadline $ strict
-          $ trace $ metrics $ record)
+          $ sanitize $ trace $ metrics $ record)
 
 (* --------------------------------------------------------- trace-check *)
 
@@ -350,26 +366,26 @@ let tables_cmd =
     let want n = match which with None -> true | Some w -> w = n in
     if want 1 then begin
       let t, _ = Fbp_workloads.Tables.table1 ~design:(if quick then "rabe" else "erhard") () in
-      Fbp_util.Table.print t
+      print_table t
     end;
     if want 2 then begin
       let t, _ = Fbp_workloads.Tables.table2 ?names:quick_names () in
-      Fbp_util.Table.print t
+      print_table t
     end;
     if want 3 then begin
       let t, _ = Fbp_workloads.Tables.table3 () in
-      Fbp_util.Table.print t
+      print_table t
     end;
     (if want 4 || want 6 then begin
        let t4, rows = Fbp_workloads.Tables.table4 () in
-       if want 4 then Fbp_util.Table.print t4;
-       if want 6 then Fbp_util.Table.print (Fbp_workloads.Tables.table6 rows)
+       if want 4 then print_table t4;
+       if want 6 then print_table (Fbp_workloads.Tables.table6 rows)
      end);
     if want 5 then begin
       let t, _ = Fbp_workloads.Tables.table5 () in
-      Fbp_util.Table.print t
+      print_table t
     end;
-    if want 7 then Fbp_util.Table.print (Fbp_workloads.Tables.table7 ());
+    if want 7 then print_table (Fbp_workloads.Tables.table7 ());
     0
   in
   Cmd.v (Cmd.info "tables" ~doc:"Reproduce the paper's tables.")

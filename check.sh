@@ -10,6 +10,9 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+echo "== dune build @lint (fbp-lint must report zero findings)"
+dune build @lint
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt
@@ -20,12 +23,24 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== bench smoke (BENCH_pr3.json)"
-FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr3.json" dune exec bench/main.exe >/dev/null
+echo "== bench smoke (BENCH_pr3.json + BENCH_pr4.json)"
+FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr3.json" \
+  FBP_BENCH_JSON4="$tmp/BENCH_pr4.json" dune exec bench/main.exe >/dev/null
 for key in schema smoke designs phase_times counters histograms hpwl total_time; do
   grep -q "\"$key\"" "$tmp/BENCH_pr3.json" \
     || { echo "BENCH_pr3.json missing key: $key"; exit 1; }
 done
+for key in sanitizer off_time on_time overhead_pct checks_run disabled_check_ns; do
+  grep -q "\"$key\"" "$tmp/BENCH_pr4.json" \
+    || { echo "BENCH_pr4.json missing key: $key"; exit 1; }
+done
+# the sanitizer must never change results (checks only read solver state)
+if grep -q '"hpwl_match":false' "$tmp/BENCH_pr4.json"; then
+  echo "sanitized run changed the placement result"; exit 1
+fi
+# the committed artifact records the confirmed overhead: < 5% per design
+awk -F'"overhead_pct":' '/overhead_pct/ { split($2, a, ","); if (a[1] + 0 >= 5.0) exit 1 }' \
+  BENCH_pr4.json || { echo "committed BENCH_pr4.json records >= 5% sanitizer overhead"; exit 1; }
 
 echo "== observability smoke (--trace / --metrics)"
 fbp="dune exec bin/fbp_place.exe --"
@@ -46,6 +61,12 @@ for metric in cg.iterations mcf.dijkstra_rounds transport.pivots \
 done
 $fbp metrics-check "$tmp/metrics.json" >/dev/null \
   || { echo "emitted metrics failed validation"; exit 1; }
+
+echo "== sanitizer smoke (--sanitize clean run + exit code 8 on corruption)"
+FBP_SANITIZE=1 $fbp place "$tmp/smoke.book" --movebounds 2 >/dev/null \
+  || { echo "sanitized placement failed"; exit 1; }
+$fbp place "$tmp/smoke.book" --movebounds 2 --sanitize >/dev/null \
+  || { echo "--sanitize placement failed"; exit 1; }
 
 echo "== flight recorder loop (--record / report / diff-record)"
 $fbp place "$tmp/smoke.book" --movebounds 2 --record "$tmp/run.json" >/dev/null

@@ -1,0 +1,73 @@
+(* Lint diagnostics.  Kept deliberately flat (no Location.t in the record)
+   so rendering, baselining and tests never depend on compiler-libs
+   internals beyond the construction site. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+  msg : string;
+  hint : string option;
+}
+
+let make ~rule ~file ~(loc : Ppxlib.Location.t) ?hint msg =
+  let start = loc.loc_start and stop = loc.loc_end in
+  {
+    rule;
+    file;
+    line = start.pos_lnum;
+    col = start.pos_cnum - start.pos_bol;
+    end_line = stop.pos_lnum;
+    end_col = stop.pos_cnum - stop.pos_bol;
+    msg;
+    hint;
+  }
+
+let to_text d =
+  let span =
+    if d.end_line = d.line then Printf.sprintf "%d:%d-%d" d.line d.col d.end_col
+    else Printf.sprintf "%d:%d-%d:%d" d.line d.col d.end_line d.end_col
+  in
+  Printf.sprintf "%s:%s: [%s] %s%s" d.file span d.rule d.msg
+    (match d.hint with None -> "" | Some h -> " (hint: " ^ h ^ ")")
+
+(* Minimal JSON string escaping: the diagnostics only carry source snippets
+   and fixed messages, so control characters and quotes cover it. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"rule\":%s,\"file\":%s,\"line\":%d,\"col\":%d,\"end_line\":%d,\"end_col\":%d,\"msg\":%s,\"hint\":%s}"
+    (json_string d.rule) (json_string d.file) d.line d.col d.end_line d.end_col
+    (json_string d.msg)
+    (match d.hint with None -> "null" | Some h -> json_string h)
+
+let key d = Printf.sprintf "%s:%d:%s" d.file d.line d.rule
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule

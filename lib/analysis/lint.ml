@@ -1,0 +1,162 @@
+(* Lint driver: file gathering, parsing, suppression, baselining,
+   rendering.  Pure except for reading source files — printing and exit
+   codes belong to bin/fbp_lint. *)
+
+type report = {
+  files_scanned : int;
+  diagnostics : Diagnostic.t list;
+  baselined : int;
+  errors : (string * string) list;
+}
+
+let parse ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  Ppxlib.Parse.implementation lexbuf
+
+let lint_string ~path src =
+  let st = parse ~path src in
+  let findings = Rules.run ~file:path st in
+  let sups, malformed = Suppress.scan ~file:path src in
+  List.sort Diagnostic.compare
+    (Suppress.apply ~file:path sups (findings @ malformed))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path =
+  match read_file path with
+  | exception Sys_error why -> Error why
+  | src -> (
+    match lint_string ~path src with
+    | diags -> Ok diags
+    | exception exn -> Error (Printexc.to_string exn))
+
+(* ------------------------------------------------------------- gathering *)
+
+let skip_dir name =
+  String.equal name "_build" || String.equal name "_opam"
+  || (String.length name > 0 && name.[0] = '.')
+
+let gather_files roots =
+  let acc = ref [] in
+  let rec visit path =
+    if Sys.is_directory path then begin
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.iter
+        (fun entry ->
+          if not (skip_dir entry) then visit (Filename.concat path entry))
+        entries
+    end
+    else if String.ends_with ~suffix:".ml" path then acc := path :: !acc
+  in
+  List.iter
+    (fun root -> if Sys.file_exists root then visit root else acc := !acc)
+    roots;
+  List.sort String.compare !acc
+
+(* -------------------------------------------------------------- baseline *)
+
+let load_baseline = function
+  | None -> []
+  | Some path -> (
+    match read_file path with
+    | exception Sys_error _ -> []
+    | content ->
+      String.split_on_char '\n' content
+      |> List.filter_map (fun line ->
+             let line = String.trim line in
+             if String.equal line "" || line.[0] = '#' then None else Some line)
+    )
+
+let baseline_of diags =
+  let keys =
+    List.sort_uniq String.compare (List.map Diagnostic.key diags)
+  in
+  String.concat "" (List.map (fun k -> k ^ "\n") keys)
+
+(* ------------------------------------------------------------------- run *)
+
+let run_paths ?baseline roots =
+  let keys = load_baseline baseline in
+  let in_baseline d = List.exists (String.equal (Diagnostic.key d)) keys in
+  let files = gather_files roots in
+  let diags = ref [] and errors = ref [] and hidden = ref 0 in
+  List.iter
+    (fun file ->
+      match lint_file file with
+      | Error why -> errors := (file, why) :: !errors
+      | Ok ds ->
+        List.iter
+          (fun d -> if in_baseline d then incr hidden else diags := d :: !diags)
+          ds)
+    files;
+  {
+    files_scanned = List.length files;
+    diagnostics = List.sort Diagnostic.compare !diags;
+    baselined = !hidden;
+    errors = List.rev !errors;
+  }
+
+let failed r =
+  (match r.diagnostics with [] -> false | _ -> true)
+  || match r.errors with [] -> false | _ -> true
+
+(* ------------------------------------------------------------- rendering *)
+
+let summary_line r =
+  Printf.sprintf
+    "fbp-lint: %d file%s scanned, %d finding%s%s%s"
+    r.files_scanned
+    (if r.files_scanned = 1 then "" else "s")
+    (List.length r.diagnostics)
+    (if List.length r.diagnostics = 1 then "" else "s")
+    (if r.baselined > 0 then Printf.sprintf ", %d baselined" r.baselined
+     else "")
+    (match r.errors with
+    | [] -> ""
+    | es -> Printf.sprintf ", %d file error%s" (List.length es)
+              (if List.length es = 1 then "" else "s"))
+
+let render_text r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Diagnostic.to_text d);
+      Buffer.add_char buf '\n')
+    r.diagnostics;
+  List.iter
+    (fun (file, why) ->
+      Buffer.add_string buf (Printf.sprintf "%s: error: %s\n" file why))
+    r.errors;
+  Buffer.add_string buf (summary_line r);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"findings\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Diagnostic.to_json d))
+    r.diagnostics;
+  Buffer.add_string buf "],\"errors\":[";
+  List.iteri
+    (fun i (file, why) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"file\":%s,\"error\":%s}"
+           (Diagnostic.json_string file)
+           (Diagnostic.json_string why)))
+    r.errors;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"files_scanned\":%d,\"baselined\":%d,\"clean\":%b}"
+       r.files_scanned r.baselined
+       (not (failed r)));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

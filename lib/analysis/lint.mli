@@ -1,0 +1,42 @@
+(** Orchestration: gather sources, parse, run {!Rules}, apply
+    {!Suppress} directives, compare against a committed baseline.
+
+    The baseline file holds one {!Diagnostic.key} per line ([#] comments
+    and blank lines ignored).  Policy for this repo: the committed
+    baseline stays empty — new findings are fixed or suppressed inline
+    with a reason, never baselined; the mechanism exists so a future
+    rule can land before its cleanup. *)
+
+type report = {
+  files_scanned : int;
+  diagnostics : Diagnostic.t list;  (** post-suppression, sorted *)
+  baselined : int;  (** findings hidden by the baseline *)
+  errors : (string * string) list;  (** (path, why) read/parse failures *)
+}
+
+(** Lint source text as-if at [path] (drives path-scoped rules).  Used by
+    the test fixtures. *)
+val lint_string : path:string -> string -> Diagnostic.t list
+
+(** Read and lint one file. *)
+val lint_file : string -> (Diagnostic.t list, string) result
+
+(** Expand files/directories into a sorted list of [.ml] files;
+    [_build], [_opam] and dot-directories are skipped. *)
+val gather_files : string list -> string list
+
+(** Lint every file under the roots; [baseline] is a path (missing or
+    unreadable baseline = empty). *)
+val run_paths : ?baseline:string -> string list -> report
+
+(** Baseline file content for the given findings. *)
+val baseline_of : Diagnostic.t list -> string
+
+(** Human-readable report: one line per finding plus a summary line. *)
+val render_text : report -> string
+
+(** Machine-readable report: a single JSON object. *)
+val render_json : report -> string
+
+(** True when the report requires attention (findings or errors). *)
+val failed : report -> bool

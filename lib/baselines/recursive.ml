@@ -61,7 +61,7 @@ let place ?(config = Fbp_core.Config.default) (inst0 : Fbp_movebound.Instance.t)
       done;
       Hashtbl.iter
         (fun (win : Rect.t) cells ->
-          let cells = Array.of_list (List.sort compare cells) in
+          let cells = Array.of_list (List.sort Int.compare cells) in
           (* quadrants *)
           let cx = (win.Rect.x0 +. win.Rect.x1) /. 2.0 in
           let cy = (win.Rect.y0 +. win.Rect.y1) /. 2.0 in
@@ -103,7 +103,7 @@ let place ?(config = Fbp_core.Config.default) (inst0 : Fbp_movebound.Instance.t)
                   let best = ref 0 and bestc = ref infinity in
                   for j = 0 to 3 do
                     let c = cost i j in
-                    let c = if c = infinity then 1e18 else c in
+                    let c = if Float.equal c infinity then 1e18 else c in
                     if c < !bestc then begin
                       bestc := c;
                       best := j

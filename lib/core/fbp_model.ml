@@ -130,7 +130,8 @@ let build ?relax_penalty (inst : Fbp_movebound.Instance.t)
         in
         { w; m; cells; total; cog } :: acc)
       group_cells []
-    |> List.sort (fun a b -> compare (a.w, a.m) (b.w, b.m))
+    |> List.sort (fun a b ->
+           match Int.compare a.w b.w with 0 -> Int.compare a.m b.m | c -> c)
     |> Array.of_list
   in
   let group_index = Hashtbl.create (Array.length groups) in
@@ -368,7 +369,12 @@ let greedy_seed (t : t) =
     t.arcs;
   Array.iteri
     (fun gi arcs ->
-      let arcs = List.sort compare arcs in
+      let arcs =
+        List.sort
+          (fun (c1, a1, _) (c2, a2, _) ->
+            match Float.compare c1 c2 with 0 -> Int.compare a1 a2 | c -> c)
+          arcs
+      in
       List.iter
         (fun (_, a, _) ->
           let piece_node = Graph.dst t.graph a in

@@ -65,7 +65,7 @@ let boundary_point t w dir =
   | 3 -> Point.make r.Rect.x0 ((r.Rect.y0 +. r.Rect.y1) /. 2.0)  (* W *)
   | _ -> invalid_arg "Grid.boundary_point: direction must be 0..3"
 
-let opposite_dir = function 0 -> 2 | 1 -> 3 | 2 -> 0 | 3 -> 1 | _ -> invalid_arg "dir"
+let opposite_dir = function 0 -> 2 | 1 -> 3 | 2 -> 0 | 3 -> 1 | _ -> invalid_arg "Grid.opposite_dir: direction must be 0..3"
 
 (* [usable] optionally maps a global region id to its row-usable area; when
    given, piece capacities are measured against it (see Density), so the

@@ -208,6 +208,12 @@ let place ?(config = Config.default) ?on_level ?fallback
       (* checkpoint: positions after the previous successful realization *)
       let anchor_pos = ref (Placement.copy pos) in
       let handle_failure level reason =
+        match reason with
+        (* A sanitizer violation means solver state is corrupt: degradation
+           would launder a wrong answer into a "successful" run.  Hard stop
+           regardless of strictness. *)
+        | Err.Sanitizer_violation _ -> stop := Some reason
+        | _ ->
         if config.Config.strict then stop := Some reason
         else
           match (reason, fallback) with

@@ -77,7 +77,7 @@ let solve_local (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t)
         List.iter (fun ni -> if not (Hashtbl.mem seen ni) then Hashtbl.add seen ni ()) cell_nets.(c))
       cells;
     let nets = Array.of_seq (Hashtbl.to_seq_keys seen) in
-    Array.sort compare nets;  (* determinism *)
+    Array.sort Int.compare nets;  (* determinism *)
     let sys =
       Netmodel.assemble nl pos ~movable:cells ~nets
         ~clique_max_degree:cfg.Config.clique_max_degree ~anchor ()

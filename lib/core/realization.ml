@@ -95,9 +95,12 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
   let nodes : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
   Hashtbl.iter (fun key _ -> Hashtbl.replace nodes key ()) members;
   Hashtbl.iter (fun key _ -> Hashtbl.replace nodes key ()) indegree;
+  let compare_wm (w1, m1) (w2, m2) =
+    match Int.compare w1 w2 with 0 -> Int.compare m1 m2 | c -> c
+  in
   let node_list =
     Hashtbl.fold (fun key () acc -> key :: acc) nodes []
-    |> List.sort compare
+    |> List.sort compare_wm
   in
   let indeg (w, m) = match Hashtbl.find_opt indegree (w, m) with Some r -> !r | None -> 0 in
   (* Kahn waves *)
@@ -174,13 +177,25 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
       (c, proj.Point.x, proj.Point.y, To_piece pid, true)
     end
   in
-  (* process one node against a read-only snapshot; returns the moves *)
-  let process_node snapshot ((w, m) : int * int) =
+  (* Inputs of one node, snapshotted from the shared [members]/[outgoing]
+     tables *before* the parallel map: worker domains must never touch the
+     mutable tables (unsynchronized Hashtbl reads race with the commit
+     phase's writes between waves). *)
+  let node_input (w, m) =
     let cells =
       match Hashtbl.find_opt members (w, m) with
-      | Some r -> List.sort_uniq compare !r
+      | Some r -> List.sort_uniq Int.compare !r
       | None -> []
     in
+    let transit_arcs =
+      match Hashtbl.find_opt outgoing (w, m) with
+      | None -> []
+      | Some arcs -> !arcs
+    in
+    ((w, m), cells, transit_arcs)
+  in
+  (* process one node against read-only inputs; returns the moves *)
+  let process_node snapshot ((w, m), cells, transit_arcs) =
     if cells = [] then ((w, m), [||])
     else begin
       let cells = Array.of_list cells in
@@ -196,7 +211,7 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
               cell_nets.(c))
           cells;
         let nets = Array.of_seq (Hashtbl.to_seq_keys seen) in
-        Array.sort compare nets;
+        Array.sort Int.compare nets;
         let win_rect = grid.Grid.windows.(w).Grid.rect in
         let ctr = Rect.center win_rect in
         let sys =
@@ -231,13 +246,10 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
           grid.Grid.pieces_of_window.(w)
       in
       let transit_sinks =
-        match Hashtbl.find_opt outgoing (w, m) with
-        | None -> []
-        | Some arcs ->
-          List.map
-            (fun (e : Fbp_model.external_flow) ->
-              (`Transit e, e.Fbp_model.amount))
-            !arcs
+        List.map
+          (fun (e : Fbp_model.external_flow) ->
+            (`Transit e, e.Fbp_model.amount))
+          transit_arcs
       in
       let sinks = Array.of_list (piece_sinks @ transit_sinks) in
       let total_size =
@@ -361,7 +373,7 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
             ("domains", string_of_int cfg.Config.domains) ])
         (fun () ->
       Fbp_obs.Obs.observe "realization.wave_width" (float_of_int (List.length wave));
-      let wave_arr = Array.of_list wave in
+      let wave_arr = Array.of_list (List.map node_input wave) in
       let snapshot = Placement.copy pos in
       let results =
         Fbp_util.Parallel.map_array ~domains:cfg.Config.domains
@@ -410,9 +422,12 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
      path so every movable cell ends in an admissible piece. *)
   let residue =
     Hashtbl.fold
-      (fun key r acc -> if !r <> [] then (key, List.sort_uniq compare !r) :: acc else acc)
+      (fun key r acc ->
+        match !r with
+        | [] -> acc
+        | cells -> (key, List.sort_uniq Int.compare cells) :: acc)
       members []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> compare_wm a b)
   in
   List.iter
     (fun ((w, m), cells) ->
@@ -433,6 +448,37 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
           end)
         cells)
     residue;
+  (* Sanitizer: every movable cell must end in a piece whose region admits
+     its movebound class, at a position inside the piece area. *)
+  Fbp_resilience.Sanitize.check ~site:"realization.commit"
+    ~invariant:"movebound containment" (fun () ->
+      let bad = ref None in
+      let report msg = if Option.is_none !bad then bad := Some msg in
+      Array.iteri
+        (fun c pid ->
+          if not nl.Netlist.fixed.(c) then begin
+            if pid < 0 then
+              report (Printf.sprintf "movable cell %d has no piece" c)
+            else begin
+              let p = grid.Grid.pieces.(pid) in
+              let reg = regions.Fbp_movebound.Regions.regions.(p.Grid.region) in
+              let mb = nl.Netlist.movebound.(c) in
+              if not (Fbp_movebound.Regions.admissible reg ~mb) then
+                report
+                  (Printf.sprintf
+                     "cell %d (movebound %d) assigned to inadmissible piece %d"
+                     c mb pid);
+              let pt = Point.make pos.Placement.x.(c) pos.Placement.y.(c) in
+              if Rect_set.dist_l1_point p.Grid.area pt > 1e-6 then
+                report
+                  (Printf.sprintf
+                     "cell %d at (%.6g, %.6g) lies outside piece %d" c
+                     pos.Placement.x.(c)
+                     pos.Placement.y.(c) pid)
+            end
+          end)
+        piece_of_cell;
+      match !bad with None -> Ok () | Some msg -> Error msg);
   (* overfill audit: compare piece loads against capacities *)
   Array.iter
     (fun (p : Grid.piece) ->

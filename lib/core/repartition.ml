@@ -60,7 +60,7 @@ let sweep ?(span = 2) (cfg : Config.t) (inst : Fbp_movebound.Instance.t)
       in
       let cells =
         List.concat_map (fun p -> cells_of_piece.(p)) pieces
-        |> List.sort compare |> Array.of_list
+        |> List.sort Int.compare |> Array.of_list
       in
       if Array.length cells > 1 && List.length pieces > 1 then begin
         incr n_blocks;

@@ -135,15 +135,103 @@ let solve_real g ~supply =
 let solve_real g ~supply =
   Fbp_obs.Obs.span "mcf.solve" (fun () -> solve_real g ~supply)
 
-(* Fault-injection shim: tests can force an infeasibility verdict or a
-   domain exception here to exercise the placer's degradation ladder. *)
+(* Checked invariants of a computed flow (sanitizer mode; also exposed for
+   tests).  Per forward arc: 0 <= flow <= original capacity.  Per node:
+   conservation against the supply vector — supply nodes route out at most
+   their supply (exactly, when the solver reported [Feasible]), deficit
+   nodes absorb at most their demand, transshipment nodes balance to zero.
+   Tolerances scale with the magnitudes involved. *)
+let check_flow g ~supply ~exact =
+  let n = Graph.n_nodes g in
+  let tol v = 1e-6 *. Float.max 1.0 (Float.abs v) in
+  let net = Array.make n 0.0 in
+  let bad = ref None in
+  let report msg = if Option.is_none !bad then bad := Some msg in
+  Graph.iter_edges g (fun a ->
+      let f = Graph.flow g a and c0 = Graph.original_capacity g a in
+      if f < -.(tol c0) then
+        report
+          (Printf.sprintf "arc %d (%d->%d): negative flow %.9g" a
+             (Graph.src g a) (Graph.dst g a) f)
+      else if f > c0 +. tol c0 then
+        report
+          (Printf.sprintf "arc %d (%d->%d): flow %.9g exceeds capacity %.9g"
+             a (Graph.src g a) (Graph.dst g a) f c0);
+      net.(Graph.src g a) <- net.(Graph.src g a) +. f;
+      net.(Graph.dst g a) <- net.(Graph.dst g a) -. f);
+  for v = 0 to n - 1 do
+    let b = supply.(v) and o = net.(v) in
+    let t = tol b in
+    if b > t then begin
+      (* supply node: 0 <= net out <= supply, = supply when fully routed *)
+      if o < -.t || o > b +. t then
+        report
+          (Printf.sprintf "supply node %d: net outflow %.9g outside [0, %.9g]"
+             v o b)
+      else if exact && Float.abs (o -. b) > t then
+        report
+          (Printf.sprintf
+             "supply node %d: net outflow %.9g <> routed supply %.9g" v o b)
+    end
+    else if b < -.t then begin
+      (* deficit node: absorbs at most its demand *)
+      if o > t || o < b -. t then
+        report
+          (Printf.sprintf "deficit node %d: net outflow %.9g outside [%.9g, 0]"
+             v o b)
+    end
+    else if Float.abs o > tol o then
+      report
+        (Printf.sprintf "transshipment node %d: net outflow %.9g <> 0" v o)
+  done;
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+(* Deterministically damage the computed flow: push extra units over the
+   first arc with residual room (or force the first arc over capacity).
+   Models a solver bug for the sanitizer tests. *)
+let corrupt_flow g =
+  let n = Graph.n_arcs g in
+  let victim = ref (-1) in
+  Graph.iter_edges g (fun a ->
+      if !victim < 0 && Graph.capacity g a > 1e-3 then victim := a);
+  if !victim >= 0 then Graph.push g !victim (0.5 *. Graph.capacity g !victim)
+  else if n > 0 then Graph.push g 0 1.0
+
+(* Fault-injection shim: tests can force an infeasibility verdict, a domain
+   exception, or a post-solve flow corruption (caught by the sanitizer)
+   here to exercise the placer's degradation ladder. *)
 let solve_stats g ~supply =
   match Fbp_resilience.Inject.fire Fbp_resilience.Inject.Mcf with
   | Some (Fbp_resilience.Inject.Infeasible unrouted) ->
     (Infeasible { unrouted }, { rounds = 0 })
   | Some (Fbp_resilience.Inject.Raise msg) ->
     raise (Fbp_resilience.Inject.Injected msg)
-  | _ -> solve_real g ~supply
+  | fired ->
+    (* Callers may pre-seed flow on the graph and pass only the residual
+       supply (the FBP model's greedy seeding does); conservation then
+       holds against residual supply plus the seeded per-node imbalance,
+       so snapshot that imbalance before solving. *)
+    let seeded =
+      if Fbp_resilience.Sanitize.enabled () then begin
+        let net = Array.make (Graph.n_nodes g) 0.0 in
+        Graph.iter_edges g (fun a ->
+            let f = Graph.flow g a in
+            net.(Graph.src g a) <- net.(Graph.src g a) +. f;
+            net.(Graph.dst g a) <- net.(Graph.dst g a) -. f);
+        net
+      end
+      else [||]
+    in
+    let ((verdict, _) as out) = solve_real g ~supply in
+    (match fired with
+    | Some Fbp_resilience.Inject.Corrupt -> corrupt_flow g
+    | _ -> ());
+    let exact = match verdict with Feasible _ -> true | Infeasible _ -> false in
+    Fbp_resilience.Sanitize.check ~site:"mcf.solve"
+      ~invariant:"flow conservation and capacity bounds" (fun () ->
+        let balance = Array.mapi (fun v b -> b +. seeded.(v)) supply in
+        check_flow g ~supply:balance ~exact);
+    out
 
 let solve g ~supply = fst (solve_stats g ~supply)
 

@@ -27,3 +27,10 @@ val solve_stats : Graph.t -> supply:float array -> result * stats
 (** Audit: does the residual network contain no negative cycle (i.e. is the
     current flow of minimum cost)? Used by property tests. *)
 val check_optimal : Graph.t -> bool
+
+(** Checked flow invariants (sanitizer mode): per-arc capacity bounds and
+    per-node conservation against [supply].  [exact] additionally requires
+    every supply node fully routed (the solver reported [Feasible]).
+    Returns the first violation. *)
+val check_flow :
+  Graph.t -> supply:float array -> exact:bool -> (unit, string) Stdlib.result

@@ -66,11 +66,16 @@ let n_fractional a =
     (fun acc fs -> if List.length fs > 1 then acc + 1 else acc)
     0 a.frac
 
+(* Per-cell fraction lists are int-keyed; keep the lookups monomorphic. *)
 let frac_at frac i j =
-  match List.assoc_opt j frac.(i) with Some f -> f | None -> 0.0
+  let rec find = function
+    | [] -> 0.0
+    | (j', f) :: rest -> if Int.equal j' j then f else find rest
+  in
+  find frac.(i)
 
 let set_frac frac i j f =
-  let rest = List.remove_assoc j frac.(i) in
+  let rest = List.filter (fun (j', _) -> not (Int.equal j' j)) frac.(i) in
   frac.(i) <- if f > eps then (j, f) :: rest else rest
 
 exception No_admissible_sink of int
@@ -355,12 +360,61 @@ let solve_impl ?(max_steps = 0) p =
    with No_admissible_sink i ->
      Error (Printf.sprintf "cell %d has no admissible sink" i))
 
+(* Checked invariants of an assignment (sanitizer mode; also exposed for
+   tests).  Rows: every cell's fractions are positive, name in-range sinks
+   and sum to 1.  Columns: the reported per-sink loads equal the
+   recomputed mass sums. *)
+let audit p a =
+  let k = n_sinks p in
+  let load = Array.make k 0.0 in
+  let bad = ref None in
+  let report msg = if Option.is_none !bad then bad := Some msg in
+  Array.iteri
+    (fun i fs ->
+      let sum = ref 0.0 in
+      List.iter
+        (fun (j, f) ->
+          if j < 0 || j >= k then
+            report (Printf.sprintf "cell %d: sink %d out of range" i j)
+          else begin
+            if f <= 0.0 || f > 1.0 +. 1e-9 then
+              report (Printf.sprintf "cell %d: fraction %.9g outside (0, 1]" i f);
+            load.(j) <- load.(j) +. (f *. p.sizes.(i));
+            sum := !sum +. f
+          end)
+        fs;
+      if Float.abs (!sum -. 1.0) > 1e-6 then
+        report (Printf.sprintf "cell %d: fractions sum to %.9g, not 1" i !sum))
+    a.frac;
+  if Array.length a.load <> k then
+    report
+      (Printf.sprintf "load vector has %d entries for %d sinks"
+         (Array.length a.load) k)
+  else
+    Array.iteri
+      (fun j l ->
+        let tol = 1e-6 *. Float.max 1.0 (Float.abs l) in
+        if Float.abs (l -. a.load.(j)) > tol then
+          report
+            (Printf.sprintf
+               "sink %d: reported load %.9g but fractions carry %.9g" j
+               a.load.(j) l))
+      load;
+  match !bad with None -> Ok () | Some msg -> Error msg
+
 let solve ?max_steps p =
   Fbp_obs.Obs.count "transport.solves";
   Fbp_obs.Obs.span "transport.solve"
     ~args:(fun () ->
       [ ("cells", string_of_int (n_cells p)); ("sinks", string_of_int (n_sinks p)) ])
-    (fun () -> solve_impl ?max_steps p)
+    (fun () ->
+      let r = solve_impl ?max_steps p in
+      (match r with
+      | Ok a ->
+        Fbp_resilience.Sanitize.check ~site:"transport.solve"
+          ~invariant:"row/column balance" (fun () -> audit p a)
+      | Error _ -> ());
+      r)
 
 (* Round a fractional assignment to an integral one: each split cell goes to
    its largest-fraction sink.  Sinks may end up overfull by strictly less

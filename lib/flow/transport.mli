@@ -45,3 +45,8 @@ val max_overflow : problem -> assignment -> float
 
 (** Number of cells split across more than one sink. *)
 val n_fractional : assignment -> int
+
+(** Checked invariants (sanitizer mode): every row's fractions are
+    positive, in-range and sum to 1; the reported per-sink loads match the
+    recomputed mass sums.  Returns the first violation. *)
+val audit : problem -> assignment -> (unit, string) result

@@ -40,8 +40,8 @@ let create ?(eps = 1e-9) ~(chip : Rect.t) rects =
       ys := clip_y r.Rect.y0 :: clip_y r.Rect.y1 :: !ys)
     rects;
   let xs = Array.of_list !xs and ys = Array.of_list !ys in
-  Array.sort compare xs;
-  Array.sort compare ys;
+  Array.sort Float.compare xs;
+  Array.sort Float.compare ys;
   let xs = dedup_sorted eps xs and ys = dedup_sorted eps ys in
   if Array.length xs < 2 || Array.length ys < 2 then
     invalid_arg "Hanan.create: degenerate chip area";

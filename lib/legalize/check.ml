@@ -50,7 +50,7 @@ let audit (design : Design.t) (pos : Placement.t) =
       let sorted =
         List.sort
           (fun a b ->
-            compare
+            Float.compare
               (Placement.cell_rect nl pos a).Rect.x0
               (Placement.cell_rect nl pos b).Rect.x0)
           cells

@@ -35,7 +35,7 @@ type stats = {
 let pack_segment (nl : Netlist.t) (pos : Placement.t) (seg : Rows.segment) cells =
   (* order by desired x *)
   let order =
-    List.sort (fun a b -> compare pos.Placement.x.(a) pos.Placement.x.(b)) cells
+    List.sort (fun a b -> Float.compare pos.Placement.x.(a) pos.Placement.x.(b)) cells
   in
   (* clusters: (total width, desired positions sum offsets) collapsed left
      to right; each cluster's optimal start is the median-like balance
@@ -104,7 +104,7 @@ let run (inst : Fbp_movebound.Instance.t) (regions : Fbp_movebound.Regions.t)
         in
         if Array.length segments = 0 then n_failed := !n_failed + List.length cells
         else begin
-          let cells = Array.of_list (List.sort compare cells) in
+          let cells = Array.of_list (List.sort Int.compare cells) in
           (* zone flow: cells -> segments *)
           let cost i j =
             let c = cells.(i) and seg = segments.(j) in

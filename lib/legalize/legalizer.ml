@@ -58,7 +58,7 @@ let make_pool ~chip ~row_height ?(site = 0.0) segments =
   (* deterministic: left-to-right within each row *)
   Array.iteri
     (fun i l ->
-      by_row.(i) <- List.sort (fun a b -> compare a.seg.Rows.x0 b.seg.Rows.x0) l)
+      by_row.(i) <- List.sort (fun a b -> Float.compare a.seg.Rows.x0 b.seg.Rows.x0) l)
     by_row;
   { by_row; n_rows = max 1 n_rows; row_height; chip_y0 = chip.Fbp_geometry.Rect.y0; site }
 
@@ -180,7 +180,7 @@ let evict_and_compact (nl : Netlist.t) (pos : Placement.t) pools c =
   | Some slot ->
     (* left-compact all placed cells, then append the newcomer *)
     let ordered =
-      List.sort (fun (_, a, _) (_, b, _) -> compare a b) slot.placed
+      List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) slot.placed
     in
     let cursor = ref slot.seg.Rows.x0 in
     let replaced =
@@ -203,7 +203,7 @@ let evict_and_compact (nl : Netlist.t) (pos : Placement.t) pools c =
 
 (* Rebuild a slot's free intervals from its placed list. *)
 let rebuild_free slot =
-  let placed = List.sort (fun (_, a, _) (_, b, _) -> compare a b) slot.placed in
+  let placed = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) slot.placed in
   let free = ref [] in
   let cursor = ref slot.seg.Rows.x0 in
   List.iter
@@ -230,7 +230,7 @@ let evict_cross_class (nl : Netlist.t) (pos : Placement.t) pools c =
   in
   let victim_order (a, _, wa) (b, _, wb) =
     let unc v = if nl.Netlist.movebound.(v) < 0 then 0 else 1 in
-    compare (unc a, wa) (unc b, wb)
+    match Int.compare (unc a) (unc b) with 0 -> Float.compare wa wb | c -> c
   in
   let w = nl.Netlist.widths.(c) in
   let cy = pos.Placement.y.(c) in
@@ -280,7 +280,7 @@ let evict_cross_class (nl : Netlist.t) (pos : Placement.t) pools c =
     slot.placed <- !keep;
     rebuild_free slot;
     (* left-compact and append the newcomer *)
-    let ordered = List.sort (fun (_, a, _) (_, b, _) -> compare a b) slot.placed in
+    let ordered = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) slot.placed in
     let cursor = ref slot.seg.Rows.x0 in
     let replaced =
       List.map
@@ -358,7 +358,7 @@ let run_impl ?(movebound_aware = true) (inst : Fbp_movebound.Instance.t)
       if cells <> [] then begin
         (* left-to-right order stabilizes the Tetris sweep *)
         let order =
-          List.sort (fun a b -> compare pos.Placement.x.(a) pos.Placement.x.(b)) cells
+          List.sort (fun a b -> Float.compare pos.Placement.x.(a) pos.Placement.x.(b)) cells
         in
         let pool = pool_of_region.(rid) in
         List.iter
@@ -445,7 +445,7 @@ let run_impl ?(movebound_aware = true) (inst : Fbp_movebound.Instance.t)
   let rec retry rounds cells =
     if rounds = 0 || cells = [] then cells
     else begin
-      let remaining = retry_round (List.sort_uniq compare cells) in
+      let remaining = retry_round (List.sort_uniq Int.compare cells) in
       if List.length remaining = List.length cells then remaining
       else retry (rounds - 1) remaining
     end

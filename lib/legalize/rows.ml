@@ -53,7 +53,12 @@ let build ~(chip : Rect.t) ~row_height ~(blockages : Rect.t list) ?(region = -1)
       (Rect_set.rects area)
   done;
   (* deterministic order: bottom-to-top, left-to-right *)
-  let sorted = List.sort (fun a b -> compare (a.row, a.x0) (b.row, b.x0)) !segments in
+  let sorted = List.sort
+      (fun a b ->
+        match Int.compare a.row b.row with
+        | 0 -> Float.compare a.x0 b.x0
+        | c -> c)
+      !segments in
   (* merge touching same-row segments: region areas arrive as unions of
      Hanan-grid strips, and without merging a contiguous row would be
      chopped into fragments no wide cell can use *)

@@ -24,7 +24,7 @@ let builder n = { dim = n; rows = []; cols = []; vals = []; count = 0 }
 let add b ~row ~col v =
   if row < 0 || row >= b.dim || col < 0 || col >= b.dim then
     invalid_arg "Csr.add: index out of range";
-  if v <> 0.0 then begin
+  if not (Float.equal v 0.0) then begin
     b.rows <- row :: b.rows;
     b.cols <- col :: b.cols;
     b.vals <- v :: b.vals;
@@ -41,6 +41,54 @@ let add_spring b i j w =
 
 (* Diagonal-only convenience (anchors / fixed-pin stiffness). *)
 let add_diag b i w = add b ~row:i ~col:i w
+
+(* Structural well-formedness: monotone row pointers, strictly increasing
+   in-range columns per row, finite values.  Returns the first violation. *)
+let validate t =
+  let bad = ref None in
+  let report msg = if Option.is_none !bad then bad := Some msg in
+  let m = Array.length t.col in
+  if Array.length t.row_start <> t.n + 1 then
+    report
+      (Printf.sprintf "row_start has %d entries for dimension %d"
+         (Array.length t.row_start) t.n)
+  else begin
+    if t.row_start.(0) <> 0 then
+      report (Printf.sprintf "row_start.(0) = %d, not 0" t.row_start.(0));
+    if t.row_start.(t.n) <> m then
+      report
+        (Printf.sprintf "row_start.(n) = %d but %d stored entries"
+           t.row_start.(t.n) m);
+    for r = 0 to t.n - 1 do
+      if t.row_start.(r) > t.row_start.(r + 1) then
+        report
+          (Printf.sprintf "row %d: row_start decreases (%d > %d)" r
+             t.row_start.(r)
+             t.row_start.(r + 1))
+    done
+  end;
+  if Array.length t.value <> m then
+    report
+      (Printf.sprintf "col/value length mismatch (%d vs %d)" m
+         (Array.length t.value));
+  for r = 0 to t.n - 1 do
+    if r + 1 < Array.length t.row_start then begin
+      let lo = max 0 t.row_start.(r) and hi = min m t.row_start.(r + 1) in
+      for k = lo to hi - 1 do
+        let c = t.col.(k) in
+        if c < 0 || c >= t.n then
+          report (Printf.sprintf "row %d: column %d out of range" r c)
+        else if k > lo && t.col.(k - 1) >= c then
+          report
+            (Printf.sprintf
+               "row %d: columns not strictly increasing (%d then %d)" r
+               t.col.(k - 1) c);
+        if not (Float.is_finite t.value.(k)) then
+          report (Printf.sprintf "row %d: non-finite value at slot %d" r k)
+      done
+    end
+  done;
+  match !bad with None -> Ok () | Some msg -> Error msg
 
 let freeze b =
   let n = b.dim in
@@ -93,12 +141,34 @@ let freeze b =
     done
   done;
   row_start.(n) <- !nnz;
-  {
-    n;
-    row_start;
-    col = Array.sub col_acc 0 !nnz;
-    value = Array.sub val_acc 0 !nnz;
-  }
+  (* Sort columns within each row: deterministic layout independent of
+     triplet insertion order, and strictly-increasing columns become a
+     checkable invariant (see [validate]). *)
+  let pair = Array.make !nnz (0, 0.0) in
+  for r = 0 to n - 1 do
+    let lo = row_start.(r) and hi = row_start.(r + 1) in
+    for k = lo to hi - 1 do
+      pair.(k) <- (col_acc.(k), val_acc.(k))
+    done;
+    let seg = Array.sub pair lo (hi - lo) in
+    Array.sort (fun (a, _) (b, _) -> Int.compare a b) seg;
+    Array.iteri
+      (fun i (c, v) ->
+        col_acc.(lo + i) <- c;
+        val_acc.(lo + i) <- v)
+      seg
+  done;
+  let t =
+    {
+      n;
+      row_start;
+      col = Array.sub col_acc 0 !nnz;
+      value = Array.sub val_acc 0 !nnz;
+    }
+  in
+  Fbp_resilience.Sanitize.check ~site:"csr.freeze"
+    ~invariant:"CSR well-formedness" (fun () -> validate t);
+  t
 
 let dim t = t.n
 let nnz t = t.row_start.(t.n)

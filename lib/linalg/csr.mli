@@ -17,7 +17,14 @@ val add_spring : builder -> int -> int -> float -> unit
 (** Add [w] to the diagonal entry [i] (anchors, fixed-pin stiffness). *)
 val add_diag : builder -> int -> float -> unit
 
+(** Assemble into CSR: rows sorted by column, duplicates accumulated.
+    In sanitizer mode the result is validated (site ["csr.freeze"]). *)
 val freeze : builder -> t
+
+(** Checked invariants (sanitizer mode; also exposed for tests): monotone
+    row pointers, strictly increasing in-range columns per row, finite
+    values.  Returns the first violation. *)
+val validate : t -> (unit, string) result
 
 val dim : t -> int
 val nnz : t -> int

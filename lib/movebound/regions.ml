@@ -39,7 +39,7 @@ let n_regions t = Array.length t.regions
 let admissible r ~mb =
   if r.signature.exclusive_owner >= 0 then mb = r.signature.exclusive_owner
   else if mb < 0 then true
-  else List.mem mb r.signature.inclusive
+  else List.exists (Int.equal mb) r.signature.inclusive
 
 (* Which movebound ids "cover" region [r] in the sense of Definition 2
    (area of r contained in A(M))? *)
@@ -71,7 +71,7 @@ let decompose ~(chip : Rect.t) (movebounds : Movebound.t array) =
               else incl := m.Movebound.id :: !incl)
           movebounds;
         if !excl >= 0 then { exclusive_owner = !excl; inclusive = [] }
-        else { exclusive_owner = -1; inclusive = List.sort compare !incl })
+        else { exclusive_owner = -1; inclusive = List.sort Int.compare !incl })
   in
   (* Merge adjacent equal-signature cells. *)
   let uf = Union_find.create n in

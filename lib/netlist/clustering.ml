@@ -43,7 +43,7 @@ let best_choice ?(ratio = 5.0) ?(max_cluster_area = infinity) (nl : Netlist.t) =
                if p.Netlist.cell >= 0 && mergeable p.Netlist.cell then
                  Some p.Netlist.cell
                else None)
-        |> List.sort_uniq compare
+        |> List.sort_uniq Int.compare
       in
       let p = List.length pins in
       if p >= 2 && p <= 10 then begin
@@ -138,7 +138,7 @@ let best_choice ?(ratio = 5.0) ?(max_cluster_area = infinity) (nl : Netlist.t) =
            let distinct =
              Array.to_list pins
              |> List.map (fun (p : Netlist.pin) -> p.Netlist.cell)
-             |> List.sort_uniq compare
+             |> List.sort_uniq Int.compare
            in
            if List.length distinct >= 2 then Some { net with Netlist.pins = pins }
            else None)

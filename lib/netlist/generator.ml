@@ -163,7 +163,7 @@ let generate (p : params) =
     done;
     (* Drop degenerate nets where all pins landed on the anchor. *)
     let distinct =
-      List.sort_uniq compare (List.map (fun pin -> pin.Netlist.cell) !pins)
+      List.sort_uniq Int.compare (List.map (fun pin -> pin.Netlist.cell) !pins)
     in
     if List.length distinct > 1 then
       nets := { Netlist.pins = Array.of_list !pins; weight = 1.0 } :: !nets

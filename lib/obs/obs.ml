@@ -188,8 +188,8 @@ let metrics_json () =
         ( Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters [],
           Hashtbl.fold (fun k r acc -> (k, !r) :: acc) histograms [] ))
   in
-  let cs = List.sort compare cs in
-  let hs = List.sort (fun (a, _) (b, _) -> compare a b) hs in
+  let cs = List.sort (fun (a, _) (b, _) -> String.compare a b) cs in
+  let hs = List.sort (fun (a, _) (b, _) -> String.compare a b) hs in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n\"counters\":{";
   List.iteri
@@ -374,7 +374,8 @@ module Json = struct
     with Bad msg -> Error msg
 
   let member key = function
-    | Obj kvs -> List.assoc_opt key kvs
+    | Obj kvs ->
+      List.find_map (fun (k, v) -> if String.equal k key then Some v else None) kvs
     | _ -> None
 
   let to_string v =
@@ -487,7 +488,7 @@ let validate_metrics doc =
     let sorted what keys =
       let rec go = function
         | a :: (b :: _ as rest) ->
-          if compare a b > 0 then
+          if String.compare a b > 0 then
             Error (Printf.sprintf "%s keys not sorted: %S after %S" what b a)
           else go rest
         | _ -> Ok ()
@@ -527,7 +528,7 @@ let validate_metrics doc =
           let* count = num "count" in
           if not (Float.is_integer count && count >= 0.0) then
             Error (Printf.sprintf "histogram %S count is not a natural" k)
-          else if count = 0.0 then Ok ()
+          else if Float.equal count 0.0 then Ok ()
           else
             List.fold_left
               (fun acc field ->

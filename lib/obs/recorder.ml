@@ -443,7 +443,7 @@ let read_file path =
   in
   of_json doc
 
-(* [compare] (not [=]) so nan fields compare equal to themselves *)
+(* fbp-lint: allow float-discipline — total order incl. nan: JSON null round-trips to nan and must compare equal *)
 let equal (a : t) (b : t) = compare a b = 0
 
 (* ------------------------------------------------------------ run diff *)
@@ -493,7 +493,7 @@ let diff ~max_hpwl_regress ~max_time_regress ~(base : t) ~(cand : t) =
   let regress metric base_value cand_value limit =
     regressions := { metric; base_value; cand_value; limit } :: !regressions
   in
-  let pct b c = if b = 0.0 then 0.0 else 100.0 *. (c /. b -. 1.0) in
+  let pct b c = if Float.equal b 0.0 then 0.0 else 100.0 *. (c /. b -. 1.0) in
   let ratio_gate metric limit bo co =
     match (bo, co) with
     | Some b, Some c ->

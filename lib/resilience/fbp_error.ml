@@ -16,6 +16,11 @@ type t =
   | Capacity_overflow of { demand : float; capacity : float; classes : int list }
   | Invalid_input of string
   | Internal of { site : string; msg : string }
+  | Sanitizer_violation of { site : string; invariant : string; detail : string }
+
+exception Error of t
+
+let raise_error e = raise (Error e)
 
 let to_string = function
   | Infeasible_flow { unrouted; level } ->
@@ -36,6 +41,9 @@ let to_string = function
       demand capacity
   | Invalid_input msg -> "invalid input: " ^ msg
   | Internal { site; msg } -> Printf.sprintf "internal failure in %s: %s" site msg
+  | Sanitizer_violation { site; invariant; detail } ->
+    Printf.sprintf "sanitizer violation in %s: invariant '%s' broken: %s" site
+      invariant detail
 
 let exit_code = function
   | Infeasible_flow _ | Capacity_overflow _ -> 2
@@ -44,8 +52,10 @@ let exit_code = function
   | Invalid_input _ -> 5
   | Cg_diverged _ -> 6
   | Internal _ -> 7
+  | Sanitizer_violation _ -> 8
 
 let of_exn ~site = function
+  | Error e -> e
   | Failure msg -> Internal { site; msg }
   | Invalid_argument msg -> Internal { site; msg = "invalid argument: " ^ msg }
   | e -> Internal { site; msg = Printexc.to_string e }

@@ -33,13 +33,26 @@ type t =
       (** Structural input problem (e.g. movebound normalization failure). *)
   | Internal of { site : string; msg : string }
       (** Unexpected exception escaping stage [site]. *)
+  | Sanitizer_violation of { site : string; invariant : string; detail : string }
+      (** A checked runtime invariant (sanitizer mode, [--sanitize] /
+          [FBP_SANITIZE=1]) failed at [site]: the named [invariant] does
+          not hold, with the offending numbers in [detail].  Always a
+          bug report, never degradable. *)
 
 val to_string : t -> string
 
 (** Stable process exit code per error class (0 is success, 1 reserved for
     generic/CLI errors): infeasible/capacity 2, parse 3, deadline 4,
-    invalid input 5, CG divergence 6, internal 7. *)
+    invalid input 5, CG divergence 6, internal 7, sanitizer violation 8. *)
 val exit_code : t -> int
+
+(** Typed errors as an exception, for call stacks that cannot thread a
+    [result] (deep solver loops, sanitizer checks).  [of_exn] unwraps it
+    back to the payload, so values raised with {!raise_error} surface
+    intact at the stage boundary. *)
+exception Error of t
+
+val raise_error : t -> 'a
 
 (** Wrap an escaped exception as [Internal], keeping its message. *)
 val of_exn : site:string -> exn -> t

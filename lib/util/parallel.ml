@@ -7,17 +7,18 @@
    identical to the sequential execution — the determinism property the paper
    emphasizes ("preserves deterministic behavior"). *)
 
-let default_domains = ref (max 1 (min 8 (Domain.recommended_domain_count ())))
+let default_domains =
+  Atomic.make (max 1 (min 8 (Domain.recommended_domain_count ())))
 
-let set_default_domains n = default_domains := max 1 n
+let set_default_domains n = Atomic.set default_domains (max 1 n)
 
-let get_default_domains () = !default_domains
+let get_default_domains () = Atomic.get default_domains
 
 (* [map_array ~domains f a]: like [Array.map f a] but evaluated by [domains]
    domains over contiguous chunks.  [f] must be safe to run concurrently on
    distinct indices.  Results are assembled in index order. *)
 let map_array ?domains f a =
-  let domains = match domains with Some d -> max 1 d | None -> !default_domains in
+  let domains = match domains with Some d -> max 1 d | None -> Atomic.get default_domains in
   let n = Array.length a in
   if n = 0 then [||]
   else if domains = 1 || n = 1 then Array.map f a

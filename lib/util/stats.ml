@@ -6,12 +6,11 @@ let mean a =
 
 let sum = Array.fold_left ( +. ) 0.0
 
-let reject_nan name a =
-  if Array.exists Float.is_nan a then invalid_arg (name ^ ": NaN input")
+let has_nan = Array.exists Float.is_nan
 
 let min_max a =
   if Array.length a = 0 then invalid_arg "Stats.min_max: empty";
-  reject_nan "Stats.min_max" a;
+  if has_nan a then invalid_arg "Stats.min_max: NaN input";
   Array.fold_left
     (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
     (a.(0), a.(0)) a
@@ -31,7 +30,7 @@ let stddev a =
 let percentile a p =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.percentile: empty";
-  reject_nan "Stats.percentile" a;
+  if has_nan a then invalid_arg "Stats.percentile: NaN input";
   if Float.is_nan p then invalid_arg "Stats.percentile: NaN p";
   let p = Float.max 0.0 (Float.min 1.0 p) in
   let sorted = Array.copy a in

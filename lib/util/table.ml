@@ -73,11 +73,9 @@ let render t =
   dash ();
   line t.header;
   dash ();
-  List.iter (fun row -> if row = [] then dash () else line row) rows;
+  List.iter (function [] -> dash () | row -> line row) rows;
   dash ();
   Buffer.contents buf
-
-let print t = print_string (render t); print_newline ()
 
 (* Common cell formatters. *)
 let fmt_float ?(digits = 2) v = Printf.sprintf "%.*f" digits v

@@ -14,8 +14,9 @@ val add_row : t -> string list -> unit
 (** Append a horizontal separator. *)
 val add_sep : t -> unit
 
+(** Render to a string (ends with a newline after the final rule); the
+    caller decides where it goes — lib code never prints. *)
 val render : t -> string
-val print : t -> unit
 
 val fmt_float : ?digits:int -> float -> string
 

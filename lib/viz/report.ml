@@ -28,7 +28,7 @@ let escape_html s =
   Buffer.contents b
 
 let fnum v =
-  if Float.abs v >= 1e5 || (Float.abs v < 1e-3 && v <> 0.0) then
+  if Float.abs v >= 1e5 || (Float.abs v < 1e-3 && not (Float.equal v 0.0)) then
     Printf.sprintf "%.4e" v
   else Printf.sprintf "%.4g" v
 

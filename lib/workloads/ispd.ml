@@ -80,7 +80,7 @@ let density_penalty (design : Design.t) pos =
         if allowed > 1e-9 then Float.max 0.0 ((u -. allowed) /. allowed) else 0.0)
       usage
   in
-  Array.sort (fun a b -> compare b a) overflow;
+  Array.sort (fun a b -> Float.compare b a) overflow;
   let top = max 1 (Array.length overflow / 10) in
   let acc = ref 0.0 in
   for i = 0 to top - 1 do

@@ -13,7 +13,7 @@ let fmt_hpwl_k v = Printf.sprintf "%.1f" (v /. 1e3)
 
 let or_fail = function
   | Ok v -> v
-  | Error e -> failwith (Fbp_resilience.Fbp_error.to_string e)
+  | Error e -> Fbp_resilience.Fbp_error.raise_error e
 
 (* ---------------------------------------------------------------- Table I *)
 
@@ -23,7 +23,9 @@ let table1 ?(design = "erhard") () =
   let spec =
     match Designs.find_spec design with
     | Some s -> s
-    | None -> failwith ("unknown design " ^ design)
+    | None ->
+      Fbp_resilience.Fbp_error.raise_error
+        (Fbp_resilience.Fbp_error.Invalid_input ("unknown design " ^ design))
   in
   let d = Designs.instantiate spec in
   let scenario =
@@ -223,7 +225,11 @@ let render_movebound_table ~title ~paper_pct rows =
     (fun r ->
       let pct = 100.0 *. r.mfbp.Runner.hpwl /. r.mrql.Runner.hpwl in
       let paper =
-        match List.assoc_opt r.mname paper_pct with
+        match
+          List.find_map
+            (fun (k, v) -> if String.equal k r.mname then Some v else None)
+            paper_pct
+        with
         | Some v when not (Float.is_nan v) -> Printf.sprintf "%.1f%%" v
         | _ -> "(crashed)"
       in

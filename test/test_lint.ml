@@ -1,0 +1,237 @@
+(* Tests for the fbp-lint static analysis: one fixture per rule, path
+   scoping, and the inline-suppression machinery.  Fixtures are linted
+   as-if at a lib/ path (the strictest scope) unless a test says
+   otherwise. *)
+
+module Lint = Fbp_analysis.Lint
+module D = Fbp_analysis.Diagnostic
+
+let lint ?(path = "lib/fake/fixture.ml") src = Lint.lint_string ~path src
+
+let has_rule r ds = List.exists (fun (d : D.t) -> String.equal d.D.rule r) ds
+
+let first_line rule ds =
+  match List.find_opt (fun (d : D.t) -> String.equal d.D.rule rule) ds with
+  | Some d -> d.D.line
+  | None -> -1
+
+let check_finds ctx rule ?line ?path src =
+  let ds = lint ?path src in
+  Alcotest.(check bool) (ctx ^ ": finds " ^ rule) true (has_rule rule ds);
+  match line with
+  | None -> ()
+  | Some l -> Alcotest.(check int) (ctx ^ ": line") l (first_line rule ds)
+
+let check_clean ctx ?path src =
+  let ds = lint ?path src in
+  Alcotest.(check int)
+    (ctx ^ ": clean but got ["
+    ^ String.concat "; " (List.map D.to_text ds)
+    ^ "]")
+    0 (List.length ds)
+
+(* ---------- domain-safety ---------- *)
+
+let test_domain_safety () =
+  (* flags both the module-level mutable itself and its capture sites *)
+  let ds =
+    lint
+      {|let total = ref 0
+let f xs = Fbp_util.Parallel.map_array (fun x -> total := !total + x; x) xs
+|}
+  in
+  Alcotest.(check bool) "module-level ref flagged" true
+    (List.exists
+       (fun (d : D.t) -> String.equal d.D.rule "domain-safety" && d.D.line = 1)
+       ds);
+  Alcotest.(check bool) "closure capture flagged" true
+    (List.exists
+       (fun (d : D.t) -> String.equal d.D.rule "domain-safety" && d.D.line = 2)
+       ds);
+  check_finds "module-level Hashtbl in parallel closure" "domain-safety"
+    {|let cache = Hashtbl.create 16
+let f xs =
+  Fbp_util.Parallel.iter_array (fun x -> Hashtbl.replace cache x x) xs
+|};
+  check_clean "pure closure"
+    {|let f xs = Fbp_util.Parallel.map_array (fun x -> x + 1) xs
+|};
+  check_clean "closure mutating its own local state"
+    {|let f xs =
+  Fbp_util.Parallel.map_array
+    (fun x ->
+      let acc = ref 0 in
+      acc := x;
+      !acc)
+    xs
+|}
+
+(* ---------- float-discipline ---------- *)
+
+let test_float_discipline () =
+  check_finds "polymorphic compare" "float-discipline" ~line:1
+    {|let f a b = compare a b
+|};
+  check_finds "float equality" "float-discipline"
+    {|let close x = x = 1.0
+|};
+  check_finds "List.mem" "float-discipline"
+    {|let f xs = List.mem 3 xs
+|};
+  check_clean "monomorphic compare"
+    {|let f a b = Float.compare a b
+let g a b = Int.compare a b
+|};
+  check_clean "int equality is fine"
+    {|let f x = x = 3
+|}
+
+(* ---------- determinism ---------- *)
+
+let test_determinism () =
+  check_finds "Random outside rng.ml" "determinism" ~line:1
+    {|let r () = Random.int 10
+|};
+  check_finds "Unix.gettimeofday outside timer.ml" "determinism"
+    {|let t () = Unix.gettimeofday ()
+|};
+  check_clean "Random inside the rng module" ~path:"lib/util/rng.ml"
+    {|let r () = Random.int 10
+|};
+  check_clean "wall clock inside the timer module" ~path:"lib/util/timer.ml"
+    {|let t () = Unix.gettimeofday ()
+|}
+
+(* ---------- error-taxonomy ---------- *)
+
+let test_error_taxonomy () =
+  check_finds "bare failwith in lib" "error-taxonomy" ~line:1
+    {|let f () = failwith "boom"
+|};
+  check_clean "failwith in bin is allowed" ~path:"bin/tool.ml"
+    {|let f () = failwith "boom"
+|};
+  check_clean "failwith in the resilience layer"
+    ~path:"lib/resilience/fbp_error.ml"
+    {|let f () = failwith "boom"
+|};
+  check_finds "anonymous invalid_arg" "error-taxonomy"
+    {|let f x = if x < 0 then invalid_arg "bad" else x
+|};
+  check_clean "invalid_arg naming the function"
+    {|let f x = if x < 0 then invalid_arg "Fixture.f: x must be non-negative" else x
+|}
+
+(* ---------- io-discipline ---------- *)
+
+let test_io_discipline () =
+  check_finds "print_endline in lib" "io-discipline" ~line:1
+    {|let f () = print_endline "hello"
+|};
+  check_finds "Printf.printf in lib" "io-discipline"
+    {|let f n = Printf.printf "%d\n" n
+|};
+  check_clean "printing from bin is fine" ~path:"bin/tool.ml"
+    {|let f () = print_endline "hello"
+|};
+  check_clean "Printf.sprintf is pure"
+    {|let f n = Printf.sprintf "%d" n
+|}
+
+(* ---------- suppression ---------- *)
+
+let test_suppression_honored () =
+  check_clean "directive on the line above"
+    ({|(* fbp-|}
+    ^ {|lint: allow determinism |} ^ "\xe2\x80\x94" ^ {| fixture *)
+let r () = Random.int 10
+|});
+  check_clean "directive on the same line"
+    ({|let r () = Random.int 10 (* fbp-|}
+    ^ {|lint: allow determinism |} ^ "\xe2\x80\x94" ^ {| fixture *)
+|})
+
+let test_suppression_wrong_rule () =
+  (* a directive for another rule does not hide the finding, and is itself
+     reported as unused *)
+  let ds =
+    lint
+      ({|(* fbp-|}
+      ^ {|lint: allow io-discipline |} ^ "\xe2\x80\x94" ^ {| fixture *)
+let r () = Random.int 10
+|})
+  in
+  Alcotest.(check bool) "finding survives" true (has_rule "determinism" ds);
+  Alcotest.(check bool) "unused directive reported" true
+    (has_rule "lint-directive" ds)
+
+let test_suppression_malformed () =
+  let ds = lint ({|(* fbp-|} ^ {|lint: allow *)
+let x = 1
+|}) in
+  Alcotest.(check bool) "malformed directive reported" true
+    (has_rule "lint-directive" ds)
+
+let test_suppression_unused () =
+  let ds =
+    lint
+      ({|(* fbp-|}
+      ^ {|lint: allow determinism |} ^ "\xe2\x80\x94" ^ {| fixture *)
+let x = 1
+|})
+  in
+  Alcotest.(check int) "exactly one diagnostic" 1 (List.length ds);
+  Alcotest.(check bool) "it is the unused directive" true
+    (has_rule "lint-directive" ds)
+
+(* ---------- reporting ---------- *)
+
+let test_report_shapes () =
+  let src = {|let r () = Random.int 10
+|} in
+  let ds = lint src in
+  Alcotest.(check int) "one finding" 1 (List.length ds);
+  let d = List.hd ds in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "text mentions rule" true
+    (contains (D.to_text d) "[determinism]");
+  Alcotest.(check bool) "key shape" true
+    (String.equal (D.key d) "lib/fake/fixture.ml:1:determinism")
+
+let test_parse_error_is_reported () =
+  match Lint.lint_file "/nonexistent/fbp-fixture.ml" with
+  | Ok _ -> Alcotest.fail "missing file must not lint clean"
+  | Error _ -> ()
+
+let test_repo_is_clean () =
+  (* the repo lints itself clean: same invariant CI enforces via @lint.
+     The dune test sandbox has no source tree; skip there (the @lint
+     alias still covers it). *)
+  if Sys.file_exists "lib" && Sys.is_directory "lib" then begin
+    let report = Lint.run_paths [ "lib"; "bin" ] in
+    Alcotest.(check bool)
+      ("no findings, got:\n" ^ Lint.render_text report)
+      false (Lint.failed report);
+    Alcotest.(check bool) "scanned a real number of files" true
+      (report.Lint.files_scanned > 40)
+  end
+
+let suite =
+  [
+    Alcotest.test_case "domain-safety rule" `Quick test_domain_safety;
+    Alcotest.test_case "float-discipline rule" `Quick test_float_discipline;
+    Alcotest.test_case "determinism rule" `Quick test_determinism;
+    Alcotest.test_case "error-taxonomy rule" `Quick test_error_taxonomy;
+    Alcotest.test_case "io-discipline rule" `Quick test_io_discipline;
+    Alcotest.test_case "suppression honored" `Quick test_suppression_honored;
+    Alcotest.test_case "suppression wrong rule" `Quick test_suppression_wrong_rule;
+    Alcotest.test_case "suppression malformed" `Quick test_suppression_malformed;
+    Alcotest.test_case "suppression unused" `Quick test_suppression_unused;
+    Alcotest.test_case "report shapes" `Quick test_report_shapes;
+    Alcotest.test_case "unreadable file" `Quick test_parse_error_is_reported;
+    Alcotest.test_case "repo lints clean" `Quick test_repo_is_clean;
+  ]

@@ -1,0 +1,244 @@
+(* Tests for the flow-invariant sanitizer mode: the check runner itself,
+   each per-stage invariant (MCF flow, transport balance, CSR structure),
+   and the end-to-end behavior — a clean sanitized run succeeds while an
+   injected flow corruption surfaces as a typed Sanitizer_violation that
+   the placer refuses to degrade away.  The enable flag is process-global,
+   so every test restores it in a [finally]. *)
+
+open Fbp_flow
+module Sanitize = Fbp_resilience.Sanitize
+module Inject = Fbp_resilience.Inject
+module Err = Fbp_resilience.Fbp_error
+
+let with_sanitize f =
+  let was = Sanitize.enabled () in
+  Sanitize.set_enabled true;
+  Fun.protect ~finally:(fun () -> Sanitize.set_enabled was) f
+
+let with_inject f = Fun.protect ~finally:Inject.reset f
+
+(* ---------- the runner ---------- *)
+
+let test_check_disabled_is_free () =
+  Sanitize.set_enabled false;
+  let evaluated = ref false in
+  Sanitize.check ~site:"t" ~invariant:"i" (fun () ->
+      evaluated := true;
+      Error "never seen");
+  Alcotest.(check bool) "thunk not evaluated when disabled" false !evaluated
+
+let test_check_enabled_raises_typed () =
+  with_sanitize (fun () ->
+      let before = Sanitize.checks_run () in
+      Sanitize.check ~site:"t" ~invariant:"i" (fun () -> Ok ());
+      Alcotest.(check int) "check counted" (before + 1) (Sanitize.checks_run ());
+      match
+        Sanitize.check ~site:"mcf.solve" ~invariant:"conservation" (fun () ->
+            Error "node 3 leaks")
+      with
+      | () -> Alcotest.fail "violation must raise"
+      | exception Err.Error (Err.Sanitizer_violation { site; invariant; detail })
+        ->
+        Alcotest.(check string) "site" "mcf.solve" site;
+        Alcotest.(check string) "invariant" "conservation" invariant;
+        Alcotest.(check string) "detail" "node 3 leaks" detail)
+
+let test_exit_code_is_8 () =
+  Alcotest.(check int) "sanitizer violations exit 8" 8
+    (Err.exit_code
+       (Err.Sanitizer_violation { site = "s"; invariant = "i"; detail = "d" }))
+
+(* ---------- MCF flow invariants ---------- *)
+
+(* 0 --(cap 3)--> 1 --(cap 3)--> 2, supply 2 at node 0, demand 2 at node 2 *)
+let small_flow () =
+  let g = Graph.create 3 in
+  let a01 = Graph.add_edge g ~u:0 ~v:1 ~cap:3.0 ~cost:1.0 in
+  let a12 = Graph.add_edge g ~u:1 ~v:2 ~cap:3.0 ~cost:1.0 in
+  let supply = [| 2.0; 0.0; -2.0 |] in
+  (g, supply, a01, a12)
+
+let test_check_flow_accepts_solver_output () =
+  let g, supply, _, _ = small_flow () in
+  (match Mcf.solve g ~supply with
+  | Mcf.Feasible _ -> ()
+  | Mcf.Infeasible _ -> Alcotest.fail "path instance must be feasible");
+  match Mcf.check_flow g ~supply ~exact:true with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("solver output must verify: " ^ msg)
+
+let test_check_flow_catches_conservation_break () =
+  let g, supply, a01, _ = small_flow () in
+  (match Mcf.solve g ~supply with Mcf.Feasible _ -> () | _ -> assert false);
+  (* extra flow into node 1 that never leaves: conservation broken *)
+  Graph.push g a01 0.5;
+  match Mcf.check_flow g ~supply ~exact:true with
+  | Ok () -> Alcotest.fail "tampered flow must not verify"
+  | Error _ -> ()
+
+let test_check_flow_catches_capacity_break () =
+  let g, supply, a01, a12 = small_flow () in
+  (match Mcf.solve g ~supply with Mcf.Feasible _ -> () | _ -> assert false);
+  (* conservation-preserving overflow: push 2 more through the whole path,
+     total 4 > capacity 3 on both arcs *)
+  Graph.push g a01 2.0;
+  Graph.push g a12 2.0;
+  match Mcf.check_flow g ~supply:[| 4.0; 0.0; -4.0 |] ~exact:true with
+  | Ok () -> Alcotest.fail "over-capacity flow must not verify"
+  | Error _ -> ()
+
+let test_solve_under_sanitizer_passes () =
+  with_sanitize (fun () ->
+      let g, supply, _, _ = small_flow () in
+      match Mcf.solve g ~supply with
+      | Mcf.Feasible _ -> ()
+      | Mcf.Infeasible _ -> Alcotest.fail "feasible instance")
+
+let test_injected_corruption_trips_sanitizer () =
+  with_sanitize (fun () ->
+      with_inject (fun () ->
+          Inject.arm Inject.Mcf Inject.Corrupt;
+          let g, supply, _, _ = small_flow () in
+          match Mcf.solve g ~supply with
+          | _ -> Alcotest.fail "corrupted flow must trip the sanitizer"
+          | exception Err.Error (Err.Sanitizer_violation { site; _ }) ->
+            Alcotest.(check string) "at the mcf site" "mcf.solve" site))
+
+(* ---------- transport balance ---------- *)
+
+let transport_problem () =
+  {
+    Transport.sizes = [| 1.0; 2.0; 1.5; 0.5 |];
+    capacities = [| 3.0; 3.0 |];
+    cost = (fun i j -> Float.abs (float_of_int i -. (3.0 *. float_of_int j)));
+  }
+
+let test_transport_audit_accepts_solver_output () =
+  let p = transport_problem () in
+  match Transport.solve p with
+  | Error e -> Alcotest.fail e
+  | Ok a -> (
+    match Transport.audit p a with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail ("solver output must verify: " ^ msg))
+
+let test_transport_audit_catches_tampering () =
+  let p = transport_problem () in
+  match Transport.solve p with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+    (* column tamper: reported load no longer matches the fractions *)
+    a.Transport.load.(0) <- a.Transport.load.(0) +. 1.0;
+    (match Transport.audit p a with
+    | Ok () -> Alcotest.fail "tampered load must not verify"
+    | Error _ -> ());
+    (* row tamper: a cell loses mass *)
+    (match Transport.solve p with
+    | Error e -> Alcotest.fail e
+    | Ok a2 ->
+      a2.Transport.frac.(0) <- [ (0, 0.25) ];
+      (match Transport.audit p a2 with
+      | Ok () -> Alcotest.fail "short row must not verify"
+      | Error _ -> ()))
+
+let test_transport_solve_under_sanitizer () =
+  with_sanitize (fun () ->
+      match Transport.solve (transport_problem ()) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+
+(* ---------- CSR structure ---------- *)
+
+let test_csr_validate_frozen () =
+  let b = Fbp_linalg.Csr.builder 4 in
+  (* insertion order deliberately scrambled; duplicates accumulate *)
+  Fbp_linalg.Csr.add b ~row:2 ~col:3 1.0;
+  Fbp_linalg.Csr.add b ~row:0 ~col:2 5.0;
+  Fbp_linalg.Csr.add b ~row:0 ~col:0 1.0;
+  Fbp_linalg.Csr.add b ~row:0 ~col:2 (-2.0);
+  Fbp_linalg.Csr.add_spring b 1 3 2.0;
+  let t = Fbp_linalg.Csr.freeze b in
+  (match Fbp_linalg.Csr.validate t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("frozen matrix must validate: " ^ msg));
+  Alcotest.(check (float 1e-12)) "duplicates accumulated" 3.0
+    (Fbp_linalg.Csr.get t 0 2)
+
+let test_csr_freeze_under_sanitizer () =
+  with_sanitize (fun () ->
+      let b = Fbp_linalg.Csr.builder 3 in
+      Fbp_linalg.Csr.add_spring b 0 2 1.0;
+      Fbp_linalg.Csr.add_diag b 1 4.0;
+      let t = Fbp_linalg.Csr.freeze b in
+      Alcotest.(check int) "dim" 3 (Fbp_linalg.Csr.dim t))
+
+(* ---------- end to end ---------- *)
+
+let small_instance () =
+  let d = Fbp_netlist.Generator.quick ~seed:11 ~name:"sanitize" 300 in
+  Fbp_movebound.Instance.unconstrained d
+
+let test_sanitized_place_succeeds () =
+  with_sanitize (fun () ->
+      let before = Sanitize.checks_run () in
+      match Fbp_core.Placer.place (small_instance ()) with
+      | Error e -> Alcotest.fail (Err.to_string e)
+      | Ok _ ->
+        Alcotest.(check bool) "sanitizer actually ran checks" true
+          (Sanitize.checks_run () > before))
+
+let test_corruption_stops_even_graceful_mode () =
+  with_sanitize (fun () ->
+      with_inject (fun () ->
+          (* graceful (non-strict) mode degrades most failures away; a
+             sanitizer violation must hard-stop instead *)
+          Inject.arm Inject.Mcf Inject.Corrupt;
+          match Fbp_core.Placer.place (small_instance ()) with
+          | Error (Err.Sanitizer_violation { site; _ }) ->
+            Alcotest.(check string) "mcf site" "mcf.solve" site
+          | Error e -> Alcotest.fail ("wrong error: " ^ Err.to_string e)
+          | Ok _ -> Alcotest.fail "corruption must not yield a placement"))
+
+let test_corruption_unnoticed_without_sanitizer () =
+  (* control: same fault, sanitizer off — the run completes, which is
+     exactly the silent-wrong-answer mode the sanitizer exists to catch *)
+  with_inject (fun () ->
+      Sanitize.set_enabled false;
+      Inject.arm Inject.Mcf Inject.Corrupt;
+      match Fbp_core.Placer.place (small_instance ()) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("unsanitized run failed: " ^ Err.to_string e))
+
+let suite =
+  [
+    Alcotest.test_case "disabled check is free" `Quick test_check_disabled_is_free;
+    Alcotest.test_case "enabled check raises typed" `Quick
+      test_check_enabled_raises_typed;
+    Alcotest.test_case "exit code 8" `Quick test_exit_code_is_8;
+    Alcotest.test_case "mcf: solver output verifies" `Quick
+      test_check_flow_accepts_solver_output;
+    Alcotest.test_case "mcf: conservation break caught" `Quick
+      test_check_flow_catches_conservation_break;
+    Alcotest.test_case "mcf: capacity break caught" `Quick
+      test_check_flow_catches_capacity_break;
+    Alcotest.test_case "mcf: sanitized solve passes" `Quick
+      test_solve_under_sanitizer_passes;
+    Alcotest.test_case "mcf: injected corruption trips" `Quick
+      test_injected_corruption_trips_sanitizer;
+    Alcotest.test_case "transport: solver output verifies" `Quick
+      test_transport_audit_accepts_solver_output;
+    Alcotest.test_case "transport: tampering caught" `Quick
+      test_transport_audit_catches_tampering;
+    Alcotest.test_case "transport: sanitized solve passes" `Quick
+      test_transport_solve_under_sanitizer;
+    Alcotest.test_case "csr: frozen matrix validates" `Quick
+      test_csr_validate_frozen;
+    Alcotest.test_case "csr: sanitized freeze passes" `Quick
+      test_csr_freeze_under_sanitizer;
+    Alcotest.test_case "e2e: sanitized place succeeds" `Quick
+      test_sanitized_place_succeeds;
+    Alcotest.test_case "e2e: corruption hard-stops" `Quick
+      test_corruption_stops_even_graceful_mode;
+    Alcotest.test_case "e2e: control without sanitizer" `Quick
+      test_corruption_unnoticed_without_sanitizer;
+  ]
