@@ -181,7 +181,7 @@ let bechamel_suite () =
              let p = Fbp_netlist.Placement.copy pos in
              ignore
                (Fbp_core.Qp.solve_global Fbp_core.Config.default nl p
-                  ~anchor:(fun _ -> None))));
+                  ~anchor:(fun _ -> None) ())));
       (* t3: region decomposition of a 16-movebound layout *)
       Test.make ~name:"t3/region-decomposition"
         (Staged.stage (fun () ->
@@ -373,12 +373,258 @@ let emit_sanitizer_json () =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* BENCH_pr5.json: the PR 5 performance-architecture numbers.  Four
+   sections, all measured on identical inputs:
+
+   - "spmv" / "cg": the new pool-backed kernels against [Seed_kernels]
+     (the pre-PR5 implementations preserved verbatim as a baseline), on
+     the x-axis QP system of a real design, with pinned iteration counts
+     for CG so both sides do exactly the same mathematical work;
+   - "assemble": the triplet-stream -> CSR path three ways (seed list
+     builder + Hashtbl freeze; new unboxed builder + stamp freeze; new
+     builder + symbolic [refreeze]), both axis systems per round exactly
+     like [Qp.solve_global], plus the end-to-end [Netmodel.assemble]
+     fresh-vs-cached times on the real net model;
+   - "scaling": full placer runs at 1/2/4/8 domains with per-phase times
+     and bitwise HPWL equality against the 1-domain run ("hpwl_match" —
+     check.sh fails the build if any entry is false);
+   - "qp_phase": the composite global-QP round (two assemblies + x/y CG)
+     seed vs new-at-8-domains, the PR's headline speedup.
+
+   FBP_BENCH_JSON5 overrides the output path; FBP_BENCH_SMOKE shrinks
+   repetition counts and uses the small kernel design. *)
+let emit_parallel_json () =
+  let path =
+    match Sys.getenv_opt "FBP_BENCH_JSON5" with
+    | Some p -> p
+    | None -> "BENCH_pr5.json"
+  in
+  let smoke = Sys.getenv_opt "FBP_BENCH_SMOKE" <> None in
+  let time reps f =
+    f ();  (* warm-up: faults, lazy pool spawns, JIT-free but cache-warm *)
+    let t0 = Fbp_util.Timer.now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Fbp_util.Timer.now () -. t0) /. float_of_int reps
+  in
+  (* ---- the QP systems of a real design ---- *)
+  let kernel_design = if smoke then "rabe" else "max" in
+  let spec = Option.get (Fbp_workloads.Designs.find_spec kernel_design) in
+  let d = Fbp_workloads.Designs.instantiate spec in
+  let nl = d.Fbp_netlist.Design.netlist in
+  let pos = Fbp_netlist.Placement.copy d.Fbp_netlist.Design.initial in
+  let cfg = Fbp_core.Config.default in
+  let center = Fbp_geometry.Rect.center d.Fbp_netlist.Design.chip in
+  let movable = Fbp_core.Qp.all_movable nl in
+  let anchor _ =
+    Some (1e-6, center.Fbp_geometry.Point.x, 1e-6, center.Fbp_geometry.Point.y)
+  in
+  let assemble ?cache () =
+    Fbp_core.Netmodel.assemble nl pos ?cache ~movable
+      ~clique_max_degree:cfg.Fbp_core.Config.clique_max_degree ~anchor ()
+  in
+  let sys = assemble () in
+  let nv = sys.Fbp_core.Netmodel.n_vars in
+  let ax = sys.Fbp_core.Netmodel.ax and ay = sys.Fbp_core.Netmodel.ay in
+  let bxr = sys.Fbp_core.Netmodel.bx and byr = sys.Fbp_core.Netmodel.by in
+  (* replay streams: the frozen entries of each axis system, fed through
+     every assembly variant so all sides consume the identical triplets *)
+  let stream_of m =
+    let n = Fbp_linalg.Csr.nnz m in
+    let rows = Array.make n 0 and cols = Array.make n 0 in
+    let vals = Array.make n 0.0 in
+    let i = ref 0 in
+    Fbp_linalg.Csr.iter_entries m (fun r c v ->
+        rows.(!i) <- r;
+        cols.(!i) <- c;
+        vals.(!i) <- v;
+        incr i);
+    (rows, cols, vals)
+  in
+  let stream_x = stream_of ax and stream_y = stream_of ay in
+  let replay_seed (rows, cols, vals) =
+    let b = Seed_kernels.SCsr.builder nv in
+    Array.iteri
+      (fun k r -> Seed_kernels.SCsr.add b ~row:r ~col:cols.(k) vals.(k))
+      rows;
+    Seed_kernels.SCsr.freeze b
+  in
+  let bldx = Fbp_linalg.Csr.builder nv and bldy = Fbp_linalg.Csr.builder nv in
+  let replay_new b (rows, cols, vals) =
+    Fbp_linalg.Csr.reset b;
+    Array.iteri (fun k r -> Fbp_linalg.Csr.add b ~row:r ~col:cols.(k) vals.(k)) rows;
+    b
+  in
+  let sa_x = replay_seed stream_x and sa_y = replay_seed stream_y in
+  (* ---- spmv ---- *)
+  let xvec = Array.init nv (fun i -> float_of_int (i mod 17) /. 17.0) in
+  let out = Array.make nv 0.0 in
+  let spmv_reps = if smoke then 100 else 400 in
+  let spmv_seed_s = time spmv_reps (fun () -> Seed_kernels.SCsr.mul sa_x xvec out) in
+  let spmv_new_s = time spmv_reps (fun () -> Fbp_linalg.Csr.mul ax xvec out) in
+  (* ---- cg (pinned iteration count = what the placer tolerance needs) ---- *)
+  let probe =
+    Fbp_linalg.Cg.solve ~record:false ~max_iter:cfg.Fbp_core.Config.cg_max_iter
+      ~tol:cfg.Fbp_core.Config.cg_tol ax bxr (Array.make nv 0.0)
+  in
+  let k_iters = max 20 probe.Fbp_linalg.Cg.iterations in
+  let cg_reps = if smoke then 3 else 6 in
+  let xwork = Array.make nv 0.0 in
+  let seed_cg a b =
+    Array.fill xwork 0 nv 0.0;
+    ignore (Seed_kernels.scg_solve ~max_iter:k_iters ~tol:0.0 a b xwork)
+  in
+  let new_cg a b =
+    Array.fill xwork 0 nv 0.0;
+    ignore
+      (Fbp_linalg.Cg.solve ~record:false ~max_iter:k_iters ~tol:0.0 a b xwork)
+  in
+  let cg_seed_x_s = time cg_reps (fun () -> seed_cg sa_x bxr) in
+  let cg_seed_y_s = time cg_reps (fun () -> seed_cg sa_y byr) in
+  let cg_new_x_s = time cg_reps (fun () -> new_cg ax bxr) in
+  let cg_new_y_s = time cg_reps (fun () -> new_cg ay byr) in
+  let seed_iters, _ =
+    Seed_kernels.scg_solve ~max_iter:k_iters ~tol:0.0 sa_x bxr
+      (Array.make nv 0.0)
+  in
+  let new_iters =
+    (Fbp_linalg.Cg.solve ~record:false ~max_iter:k_iters ~tol:0.0 ax bxr
+       (Array.make nv 0.0))
+      .Fbp_linalg.Cg.iterations
+  in
+  (* ---- assembly: stream -> CSR, both axes per round ---- *)
+  let rounds = if smoke then 15 else 40 in
+  let asm_seed_s =
+    time rounds (fun () ->
+        ignore (replay_seed stream_x);
+        ignore (replay_seed stream_y))
+  in
+  let asm_fresh_s =
+    time rounds (fun () ->
+        ignore (Fbp_linalg.Csr.freeze (replay_new bldx stream_x));
+        ignore (Fbp_linalg.Csr.freeze (replay_new bldy stream_y)))
+  in
+  let _, str_x = Fbp_linalg.Csr.freeze_capture (replay_new bldx stream_x) in
+  let _, str_y = Fbp_linalg.Csr.freeze_capture (replay_new bldy stream_y) in
+  let refreeze_round () =
+    (match Fbp_linalg.Csr.refreeze str_x (replay_new bldx stream_x) with
+    | Some _ -> ()
+    | None -> failwith "bench: refreeze missed on an identical stream");
+    match Fbp_linalg.Csr.refreeze str_y (replay_new bldy stream_y) with
+    | Some _ -> ()
+    | None -> failwith "bench: refreeze missed on an identical stream"
+  in
+  let asm_cached_s = time rounds refreeze_round in
+  (* ---- assembly: end-to-end Netmodel.assemble, fresh vs cached ---- *)
+  Fbp_obs.Obs.reset ();
+  Fbp_obs.Obs.enable ();
+  let nm_rounds = if smoke then 5 else 12 in
+  let nm_fresh_s = time nm_rounds (fun () -> ignore (assemble ())) in
+  let cache = Fbp_core.Netmodel.create_cache () in
+  ignore (assemble ~cache ());
+  let nm_cached_s = time nm_rounds (fun () -> ignore (assemble ~cache ())) in
+  let refreeze_hits = Fbp_obs.Obs.counter_value "netmodel.refreeze_hits" in
+  Fbp_obs.Obs.disable ();
+  (* ---- composite QP round, seed sequential vs new at 8 domains ---- *)
+  let prev_domains = Fbp_util.Pool.get_default_domains () in
+  Fbp_util.Pool.set_default_domains 8;
+  let asm_cached8_s = time rounds refreeze_round in
+  let cg_new8_x_s = time cg_reps (fun () -> new_cg ax bxr) in
+  let cg_new8_y_s = time cg_reps (fun () -> new_cg ay byr) in
+  Fbp_util.Pool.set_default_domains prev_domains;
+  let qp_seed_s = asm_seed_s +. cg_seed_x_s +. cg_seed_y_s in
+  let qp_new8_s = asm_cached8_s +. cg_new8_x_s +. cg_new8_y_s in
+  (* ---- scaling sweep: full placer, bitwise HPWL equality ---- *)
+  let sspec = Option.get (Fbp_workloads.Designs.find_spec "rabe") in
+  let sinst =
+    Fbp_movebound.Instance.unconstrained (Fbp_workloads.Designs.instantiate sspec)
+  in
+  let run_scale domains =
+    Fbp_util.Pool.set_default_domains domains;
+    let r =
+      Fbp_workloads.Runner.run_fbp
+        ~config:{ Fbp_core.Config.default with domains }
+        sinst
+    in
+    Fbp_util.Pool.set_default_domains prev_domains;
+    match r with
+    | Error e -> Error (Fbp_resilience.Fbp_error.to_string e)
+    | Ok m ->
+      let qp, real =
+        List.fold_left
+          (fun (q, rr) (l : Fbp_core.Placer.level_report) ->
+            (q +. l.Fbp_core.Placer.qp_time, rr +. l.Fbp_core.Placer.realization_time))
+          (0.0, 0.0) m.Fbp_workloads.Runner.levels
+      in
+      Ok (m.Fbp_workloads.Runner.hpwl, qp, real, m.Fbp_workloads.Runner.global_time)
+  in
+  let base = run_scale 1 in
+  let all_match = ref true in
+  let scaling_rows =
+    List.map
+      (fun domains ->
+        match (run_scale domains, base) with
+        | Ok (h, qp, real, g), Ok (h1, _, _, _) ->
+          let m = Int64.equal (Int64.bits_of_float h) (Int64.bits_of_float h1) in
+          if not m then all_match := false;
+          Printf.sprintf
+            "    {\"domains\":%d,\"qp_s\":%.6f,\"realization_s\":%.6f,\
+             \"global_s\":%.6f,\"hpwl\":%.6e,\"hpwl_match\":%b}"
+            domains qp real g h m
+        | Error e, _ | _, Error e ->
+          all_match := false;
+          Printf.sprintf "    {\"domains\":%d,\"error\":%S}" domains e)
+      [ 1; 2; 4; 8 ]
+  in
+  let sp a b = a /. Float.max 1e-12 b in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+     \"schema\":\"fbp-bench-pr5\",\n\
+     \"smoke\":%b,\n\
+     \"kernel_design\":%S,\n\
+     \"vars\":%d,\n\
+     \"nnz_x\":%d,\n\
+     \"spmv\":{\"reps\":%d,\"seed_s\":%.6e,\"new_s\":%.6e,\"speedup\":%.2f},\n\
+     \"cg\":{\"pinned_iters\":%d,\"seed_iters\":%d,\"new_iters\":%d,\
+     \"seed_x_s\":%.6e,\"new_x_s\":%.6e,\"seed_y_s\":%.6e,\"new_y_s\":%.6e,\
+     \"speedup\":%.2f},\n\
+     \"assemble\":{\"rounds\":%d,\"seed_s\":%.6e,\"fresh_s\":%.6e,\
+     \"cached_s\":%.6e,\"reuse_speedup\":%.2f,\"vs_seed_speedup\":%.2f,\
+     \"netmodel_fresh_s\":%.6e,\"netmodel_cached_s\":%.6e,\
+     \"netmodel_reuse_speedup\":%.2f,\"refreeze_hits\":%d},\n\
+     \"qp_phase\":{\"seed_s\":%.6e,\"new_domains8_s\":%.6e,\
+     \"qp_speedup_8\":%.2f},\n\
+     \"scaling\":[\n%s\n],\n\
+     \"workers_spawned\":%d,\n\
+     \"hpwl_match\":%b\n\
+     }\n"
+    smoke kernel_design nv (Fbp_linalg.Csr.nnz ax) spmv_reps spmv_seed_s
+    spmv_new_s
+    (sp spmv_seed_s spmv_new_s)
+    k_iters seed_iters new_iters cg_seed_x_s cg_new_x_s cg_seed_y_s cg_new_y_s
+    (sp (cg_seed_x_s +. cg_seed_y_s) (cg_new_x_s +. cg_new_y_s))
+    rounds asm_seed_s asm_fresh_s asm_cached_s
+    (sp asm_fresh_s asm_cached_s)
+    (sp asm_seed_s asm_cached_s)
+    nm_fresh_s nm_cached_s
+    (sp nm_fresh_s nm_cached_s)
+    refreeze_hits qp_seed_s qp_new8_s
+    (sp qp_seed_s qp_new8_s)
+    (String.concat ",\n" scaling_rows)
+    (Fbp_util.Pool.n_workers_spawned ())
+    !all_match;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
   if Sys.getenv_opt "FBP_BENCH_SMOKE" <> None then begin
     emit_bench_json ();
     emit_sanitizer_json ();
+    emit_parallel_json ();
     exit 0
   end;
   let t0 = Fbp_util.Timer.now () in
@@ -428,4 +674,5 @@ let () =
   bechamel_suite ();
   emit_bench_json ();
   emit_sanitizer_json ();
+  emit_parallel_json ();
   Printf.printf "\ntotal bench wall time: %s\n" (Fbp_util.Duration.pretty (Fbp_util.Timer.now () -. t0))

@@ -1,0 +1,184 @@
+(* Faithful re-implementations of the pre-PR5 ("seed") linear-algebra
+   paths, kept only as the benchmark baseline for BENCH_pr5.json:
+
+   - [SCsr]: triplets in three boxed lists (three allocations per add, a
+     full unspool at freeze), freeze with an [order] indirection array and
+     a per-row [Hashtbl] for duplicate accumulation, bounds-checked
+     sequential SpMV;
+   - [scg]: the unfused Jacobi-PCG loop — separate preconditioner sweep,
+     separate dot products, and [norm2 r] recomputed from scratch for every
+     convergence check and again for the final stats.
+
+   Nothing in the placer links against this module; comparing against it
+   measures exactly what the PR 5 kernel rework changed, on identical
+   inputs and identical iteration counts. *)
+
+module SCsr = struct
+  type t = {
+    n : int;
+    row_start : int array;
+    col : int array;
+    value : float array;
+  }
+
+  type builder = {
+    dim : int;
+    mutable rows : int list;  (* triplets, reversed *)
+    mutable cols : int list;
+    mutable vals : float list;
+    mutable count : int;
+  }
+
+  let builder n = { dim = n; rows = []; cols = []; vals = []; count = 0 }
+
+  let add b ~row ~col v =
+    (* fbp-lint: allow float-discipline — verbatim seed code kept as baseline *)
+    if v <> 0.0 then begin
+      b.rows <- row :: b.rows;
+      b.cols <- col :: b.cols;
+      b.vals <- v :: b.vals;
+      b.count <- b.count + 1
+    end
+
+  let freeze b =
+    let n = b.dim in
+    let m = b.count in
+    let rows = Array.make m 0 and cols = Array.make m 0 and vals = Array.make m 0.0 in
+    let rec fill i rl cl vl =
+      match (rl, cl, vl) with
+      | r :: rl, c :: cl, v :: vl ->
+        rows.(i) <- r;
+        cols.(i) <- c;
+        vals.(i) <- v;
+        fill (i - 1) rl cl vl
+      | [], [], [] -> ()
+      | _ -> assert false
+    in
+    fill (m - 1) b.rows b.cols b.vals;
+    let count = Array.make (n + 1) 0 in
+    for k = 0 to m - 1 do
+      count.(rows.(k) + 1) <- count.(rows.(k) + 1) + 1
+    done;
+    for i = 1 to n do
+      count.(i) <- count.(i) + count.(i - 1)
+    done;
+    let order = Array.make m 0 in
+    let cursor = Array.copy count in
+    for k = 0 to m - 1 do
+      let r = rows.(k) in
+      order.(cursor.(r)) <- k;
+      cursor.(r) <- cursor.(r) + 1
+    done;
+    let row_start = Array.make (n + 1) 0 in
+    let col_acc = Array.make m 0 and val_acc = Array.make m 0.0 in
+    let nnz = ref 0 in
+    let scratch = Hashtbl.create 16 in
+    for r = 0 to n - 1 do
+      Hashtbl.reset scratch;
+      row_start.(r) <- !nnz;
+      for idx = count.(r) to count.(r + 1) - 1 do
+        let k = order.(idx) in
+        let c = cols.(k) in
+        match Hashtbl.find_opt scratch c with
+        | Some slot -> val_acc.(slot) <- val_acc.(slot) +. vals.(k)
+        | None ->
+          Hashtbl.add scratch c !nnz;
+          col_acc.(!nnz) <- c;
+          val_acc.(!nnz) <- vals.(k);
+          incr nnz
+      done
+    done;
+    row_start.(n) <- !nnz;
+    {
+      n;
+      row_start;
+      col = Array.sub col_acc 0 !nnz;
+      value = Array.sub val_acc 0 !nnz;
+    }
+
+  let mul t x out =
+    for r = 0 to t.n - 1 do
+      let acc = ref 0.0 in
+      for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
+        acc := !acc +. (t.value.(k) *. x.(t.col.(k)))
+      done;
+      out.(r) <- !acc
+    done
+
+  let diagonal t =
+    let d = Array.make t.n 0.0 in
+    for r = 0 to t.n - 1 do
+      for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
+        if t.col.(k) = r then d.(r) <- d.(r) +. t.value.(k)
+      done
+    done;
+    d
+end
+
+(* Seed BLAS-1: plain sequential loops, no fusion. *)
+let sdot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let snorm2 a = sqrt (sdot a a)
+
+let saxpy ~alpha x y =
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let ssub a b out =
+  for i = 0 to Array.length a - 1 do
+    out.(i) <- a.(i) -. b.(i)
+  done
+
+(* The pre-PR5 CG loop, verbatim structure: separate preconditioner sweep,
+   separate r.z dot, and ||r|| recomputed by a fresh [norm2] sweep at every
+   convergence check plus once more for the final residual. *)
+let scg_solve ~max_iter ~tol (a : SCsr.t) (b : float array) (x : float array) =
+  let n = a.SCsr.n in
+  let inv_diag =
+    Array.map
+      (fun d -> if Float.abs d > 1e-30 then 1.0 /. d else 1.0)
+      (SCsr.diagonal a)
+  in
+  let r = Array.make n 0.0 and z = Array.make n 0.0 in
+  let p = Array.make n 0.0 and ap = Array.make n 0.0 in
+  SCsr.mul a x ap;
+  ssub b ap r;
+  let bnorm = Float.max 1.0 (snorm2 b) in
+  let apply_precond () =
+    for i = 0 to n - 1 do
+      z.(i) <- inv_diag.(i) *. r.(i)
+    done
+  in
+  apply_precond ();
+  Array.blit z 0 p 0 n;
+  let rz = ref (sdot r z) in
+  let iter = ref 0 in
+  let finished = ref (snorm2 r /. bnorm <= tol) in
+  while (not !finished) && !iter < max_iter do
+    incr iter;
+    SCsr.mul a p ap;
+    let pap = sdot p ap in
+    if pap <= 0.0 then finished := true
+    else begin
+      let alpha = !rz /. pap in
+      saxpy ~alpha p x;
+      saxpy ~alpha:(-.alpha) ap r;
+      if snorm2 r /. bnorm <= tol then finished := true
+      else begin
+        apply_precond ();
+        let rz' = sdot r z in
+        let beta = rz' /. !rz in
+        rz := rz';
+        for i = 0 to n - 1 do
+          p.(i) <- z.(i) +. (beta *. p.(i))
+        done
+      end
+    end
+  done;
+  (!iter, snorm2 r /. bnorm)

@@ -23,9 +23,10 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== bench smoke (BENCH_pr3.json + BENCH_pr4.json)"
+echo "== bench smoke (BENCH_pr3.json + BENCH_pr4.json + BENCH_pr5.json)"
 FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr3.json" \
-  FBP_BENCH_JSON4="$tmp/BENCH_pr4.json" dune exec bench/main.exe >/dev/null
+  FBP_BENCH_JSON4="$tmp/BENCH_pr4.json" \
+  FBP_BENCH_JSON5="$tmp/BENCH_pr5.json" dune exec bench/main.exe >/dev/null
 for key in schema smoke designs phase_times counters histograms hpwl total_time; do
   grep -q "\"$key\"" "$tmp/BENCH_pr3.json" \
     || { echo "BENCH_pr3.json missing key: $key"; exit 1; }
@@ -41,6 +42,19 @@ fi
 # the committed artifact records the confirmed overhead: < 5% per design
 awk -F'"overhead_pct":' '/overhead_pct/ { split($2, a, ","); if (a[1] + 0 >= 5.0) exit 1 }' \
   BENCH_pr4.json || { echo "committed BENCH_pr4.json records >= 5% sanitizer overhead"; exit 1; }
+
+echo "== perf smoke (BENCH_pr5.json schema + 1-vs-N-domain HPWL equality)"
+for key in schema spmv cg assemble qp_phase qp_speedup_8 scaling \
+           reuse_speedup hpwl_match workers_spawned; do
+  grep -q "\"$key\"" "$tmp/BENCH_pr5.json" \
+    || { echo "BENCH_pr5.json missing key: $key"; exit 1; }
+done
+# parallel runs must be bit-identical to the sequential run: the sweep sets
+# hpwl_match per domain count against domains=1, and the top-level flag
+# aggregates them.  Any false fails the check.
+if grep -q '"hpwl_match":false' "$tmp/BENCH_pr5.json"; then
+  echo "parallel placement diverged from the 1-domain result"; exit 1
+fi
 
 echo "== observability smoke (--trace / --metrics)"
 fbp="dune exec bin/fbp_place.exe --"

@@ -296,9 +296,15 @@ let expression_rules ~sc ~(add : adder) st =
 (* Names of Fbp_util.Parallel entry points that take a work closure. *)
 let parallel_entries = [ "map_array"; "iter_array"; "init" ]
 
+(* Fbp_util.Pool entry points whose closures run on worker domains.  Every
+   positional argument is a closure there ([fork2] takes two, [reduce]'s
+   combiner also runs on workers). *)
+let pool_entries = [ "run_chunks"; "fork2"; "reduce" ]
+
 let is_parallel_entry parts =
   match List.rev parts with
   | fn :: "Parallel" :: _ -> one_of parallel_entries fn
+  | fn :: "Pool" :: _ -> one_of pool_entries fn
   | _ -> false
 
 (* Does the module touch domain-parallel machinery at all?  Scopes the
@@ -562,11 +568,12 @@ let domain_safety ~(add : adder) st =
               (fun (l, a) -> match l with Nolabel -> Some a | _ -> None)
               args
           in
-          let work =
+          let works =
             match (entry, nolabel) with
-            | "init", _ :: f :: _ -> Some f
-            | _, f :: _ -> Some f
-            | _ -> None
+            | "init", _ :: f :: _ -> [ f ]
+            | ("run_chunks" | "fork2" | "reduce"), fs -> fs
+            | _, f :: _ -> [ f ]
+            | _ -> []
           in
           let report loc msg =
             add ~rule:"domain-safety" ~loc
@@ -575,9 +582,7 @@ let domain_safety ~(add : adder) st =
                  parallel region, or protect it with Atomic/Mutex"
               msg
           in
-          (match work with
-          | Some f -> check_work_arg ~report env f
-          | None -> ())
+          List.iter (check_work_arg ~report env) works
         | _ -> ());
         super#expression e
     end

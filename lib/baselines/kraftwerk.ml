@@ -88,7 +88,8 @@ let place ?(params = default_params) (inst0 : Fbp_movebound.Instance.t) =
       ignore
         (Fbp_core.Qp.solve_global cfg nl pos ~anchor:(fun c ->
              if not forced then None
-             else Some (params.anchor_weight, txs.(c), params.anchor_weight, tys.(c))));
+             else Some (params.anchor_weight, txs.(c), params.anchor_weight, tys.(c)))
+           ());
       (* demand - supply *)
       let bins = Spread.compute_bins design pos ~nx:nb ~ny:nb in
       let rho =

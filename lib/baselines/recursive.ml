@@ -33,7 +33,7 @@ let place ?(config = Fbp_core.Config.default) (inst0 : Fbp_movebound.Instance.t)
     let chip_center = Rect.center design.Design.chip in
     ignore
       (Fbp_core.Qp.solve_global config nl pos ~anchor:(fun _ ->
-           Some (1e-6, chip_center.Point.x, 1e-6, chip_center.Point.y)));
+           Some (1e-6, chip_center.Point.x, 1e-6, chip_center.Point.y)) ());
     let overflow_events = ref 0 in
     let max_level = Fbp_core.Placer.n_levels config design in
     (* window assignment per cell, refined level by level *)
@@ -48,7 +48,8 @@ let place ?(config = Fbp_core.Config.default) (inst0 : Fbp_movebound.Instance.t)
         let ap = !anchor_pos in
         ignore
           (Fbp_core.Qp.solve_global config nl pos ~anchor:(fun c ->
-               Some (anchor_w, ap.Placement.x.(c), anchor_w, ap.Placement.y.(c))))
+               Some (anchor_w, ap.Placement.x.(c), anchor_w, ap.Placement.y.(c)))
+             ())
       end;
       (* group cells by current assigned window, then split each window *)
       let groups = Hashtbl.create 64 in

@@ -98,7 +98,7 @@ let place ?(params = default_params) (inst0 : Fbp_movebound.Instance.t) =
                in
                let w = aw /. Float.max 1.0 d in
                Some (w, ax.(c), w, ay.(c))
-             end));
+             end) ());
       (* spreading *)
       let tx, ty, bins = Spread.targets design pos ~nx:nb ~ny:nb ~theta:params.theta in
       (* soft movebound clip *)

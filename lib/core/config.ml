@@ -29,7 +29,7 @@ let default =
     cg_tol = 1e-5;
     cg_max_iter = 300;
     coarse_span = 1;
-    domains = 1;
+    domains = Fbp_util.Pool.get_default_domains ();
     local_qp = true;
     capacity_margin = 0.94;
     deadline = None;

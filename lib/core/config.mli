@@ -9,7 +9,10 @@ type t = {
   cg_tol : float;
   cg_max_iter : int;
   coarse_span : int;  (** realization window reach, in windows *)
-  domains : int;  (** parallel domains for realization (1 = sequential) *)
+  domains : int;
+      (** parallel domains for realization (1 = sequential).  The default
+          follows {!Fbp_util.Pool.get_default_domains}, i.e. [FBP_DOMAINS]
+          when set.  Results are bit-identical at any value. *)
   local_qp : bool;  (** run the local QP connectivity step in realization *)
   capacity_margin : float;
       (** flow capacities derated for legalizability; automatic fallback to

@@ -19,10 +19,39 @@ type system = {
   by : float array;
 }
 
+(* Symbolic-structure cache: across QP rounds of the same placement run the
+   net topology and movable set are fixed, so the triplet (row, col) stream
+   per axis repeats exactly.  We capture it once and re-assemble later
+   rounds as a flat value sweep.  Safety does not depend on the caller
+   guessing right: [Csr.refreeze] verifies the full stream every time and
+   we fall back to a fresh capture on any mismatch (anchors appearing or
+   vanishing, a different net subset, a changed movable set...). *)
+type cache = {
+  mutable sx : Fbp_linalg.Csr.structure option;
+  mutable sy : Fbp_linalg.Csr.structure option;
+}
+
+let create_cache () = { sx = None; sy = None }
+
+let freeze_cached slot store bld =
+  match
+    match slot with
+    | Some s -> Fbp_linalg.Csr.refreeze s bld
+    | None -> None
+  with
+  | Some t ->
+    Fbp_obs.Obs.count "netmodel.refreeze_hits";
+    t
+  | None ->
+    let t, s = Fbp_linalg.Csr.freeze_capture bld in
+    store s;
+    Fbp_obs.Obs.count "netmodel.refreeze_misses";
+    t
+
 (* [assemble nl pos ~movable ~nets ~clique_max_degree ~anchor] builds both
    axis systems.  [anchor cell] returns optional (wx, tx, wy, ty) pulling the
    cell toward (tx, ty). *)
-let assemble (nl : Netlist.t) (pos : Placement.t) ~(movable : int array)
+let assemble (nl : Netlist.t) (pos : Placement.t) ?cache ~(movable : int array)
     ?(nets : int array = [||]) ~(clique_max_degree : int)
     ~(anchor : int -> (float * float * float * float) option) () =
   let n = Netlist.n_cells nl in
@@ -139,12 +168,11 @@ let assemble (nl : Netlist.t) (pos : Placement.t) ~(movable : int array)
   done;
   let cells = Array.make nv (-1) in
   Array.iteri (fun v c -> cells.(v) <- c) movable;
-  {
-    n_vars = nv;
-    var_of_cell;
-    cells;
-    ax = Fbp_linalg.Csr.freeze bldx;
-    bx;
-    ay = Fbp_linalg.Csr.freeze bldy;
-    by;
-  }
+  let ax, ay =
+    match cache with
+    | None -> (Fbp_linalg.Csr.freeze bldx, Fbp_linalg.Csr.freeze bldy)
+    | Some c ->
+      ( freeze_cached c.sx (fun s -> c.sx <- Some s) bldx,
+        freeze_cached c.sy (fun s -> c.sy <- Some s) bldy )
+  in
+  { n_vars = nv; var_of_cell; cells; ax; bx; ay; by }

@@ -15,14 +15,25 @@ type system = {
   by : float array;
 }
 
+(** Symbolic-structure cache for repeated assemblies with a fixed net
+    topology and movable set (the global QP rounds).  The cached sparsity
+    is verified against the fresh triplet stream on every reuse, so a
+    stale cache degrades to a full assembly — never to a wrong matrix. *)
+type cache
+
+val create_cache : unit -> cache
+
 (** [assemble nl pos ~movable ~nets ~clique_max_degree ~anchor ()] builds
     both axis systems.  [nets] restricts assembly to a net subset (default:
     all); [anchor cell] returns an optional [(wx, tx, wy, ty)] pulling the
     cell toward [(tx, ty)].  Cells outside [movable] contribute constants
-    evaluated at [pos] — the "fixed cells outside W" of the local QP. *)
+    evaluated at [pos] — the "fixed cells outside W" of the local QP.
+    [cache] enables symbolic sparsity reuse across calls; results are
+    bit-identical with or without it. *)
 val assemble :
   Netlist.t ->
   Placement.t ->
+  ?cache:cache ->
   movable:int array ->
   ?nets:int array ->
   clique_max_degree:int ->

@@ -173,14 +173,19 @@ let place ?(config = Config.default) ?on_level ?fallback
         regions.Fbp_movebound.Regions.regions
     in
     let cell_nets = Netlist.cell_nets nl in
+    (* Symbolic-structure cache for the global QPs: every round assembles
+       the same net topology over the same movable set, so after the first
+       capture each assembly is a flat value sweep (verified, never
+       trusted blindly — see Netmodel.cache). *)
+    let qp_cache = Netmodel.create_cache () in
     let pos = Placement.copy design.Design.initial in
     let chip_center = Rect.center design.Design.chip in
     (* Level 0: plain global QP, weakly anchored at the chip center so that
        components without fixed pins stay determined.  A diverged solve is
        restarted once from the initial positions with stronger anchors. *)
     let solve_qp0 w =
-      Qp.solve_global config nl pos ~anchor:(fun _ ->
-          Some (w, chip_center.Point.x, w, chip_center.Point.y))
+      Qp.solve_global config nl pos ~cache:qp_cache ~anchor:(fun _ ->
+          Some (w, chip_center.Point.x, w, chip_center.Point.y)) ()
     in
     let pre_qp0 = Placement.copy pos in
     let qp0 = solve_qp0 1e-6 in
@@ -299,9 +304,10 @@ let place ?(config = Config.default) ?on_level ?fallback
                       (fun () ->
                     if level > 1 then begin
                       let solve w =
-                        Qp.solve_global config nl pos ~anchor:(fun c ->
+                        Qp.solve_global config nl pos ~cache:qp_cache
+                          ~anchor:(fun c ->
                             Some (w, !anchor_pos.Placement.x.(c), w,
-                                  !anchor_pos.Placement.y.(c)))
+                                  !anchor_pos.Placement.y.(c))) ()
                       in
                       let s = solve anchor_w in
                       if s.Qp.converged then s

@@ -27,10 +27,21 @@ let solve_system (cfg : Config.t) (sys : Netmodel.system) (pos : Placement.t) =
       y.(v) <- pos.Placement.y.(c)
     end
   done;
-  let sx = Fbp_linalg.Cg.solve ~max_iter:cfg.Config.cg_max_iter ~tol:cfg.Config.cg_tol
-      sys.Netmodel.ax sys.Netmodel.bx x in
-  let sy = Fbp_linalg.Cg.solve ~max_iter:cfg.Config.cg_max_iter ~tol:cfg.Config.cg_tol
-      sys.Netmodel.ay sys.Netmodel.by y in
+  (* The two axis systems are independent, so they run concurrently on the
+     pool.  Each solve defers its metrics ([record:false]); we record them
+     after the join in fixed x-then-y order, keeping observation streams
+     deterministic regardless of interleaving. *)
+  let solve a b v () =
+    Fbp_linalg.Cg.solve ~record:false ~max_iter:cfg.Config.cg_max_iter
+      ~tol:cfg.Config.cg_tol a b v
+  in
+  let sx, sy =
+    Fbp_util.Pool.fork2
+      (solve sys.Netmodel.ax sys.Netmodel.bx x)
+      (solve sys.Netmodel.ay sys.Netmodel.by y)
+  in
+  Fbp_linalg.Cg.record_stats sx;
+  Fbp_linalg.Cg.record_stats sy;
   for v = 0 to nv - 1 do
     let c = sys.Netmodel.cells.(v) in
     if c >= 0 then begin
@@ -53,31 +64,72 @@ let all_movable (nl : Netlist.t) =
   Array.of_list !out
 
 (* Global QP over every movable cell. *)
-let solve_global (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t) ~anchor =
+let solve_global (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t) ?cache
+    ~anchor () =
   Fbp_obs.Obs.span "qp.global"
     ~args:(fun () -> [ ("cells", string_of_int (Netlist.n_cells nl)) ])
     (fun () ->
       let movable = all_movable nl in
       let sys =
-        Netmodel.assemble nl pos ~movable ~clique_max_degree:cfg.Config.clique_max_degree
-          ~anchor ()
+        Netmodel.assemble nl pos ?cache ~movable
+          ~clique_max_degree:cfg.Config.clique_max_degree ~anchor ()
       in
       solve_system cfg sys pos)
 
+(* Reusable net-dedup scratch for [solve_local]: a stamp array over net ids
+   (stamp.(ni) = current epoch means "already collected") plus a growable
+   id buffer.  Replaces the seed's per-call [Hashtbl]: no hashing, no
+   rehash allocations, and collection order is deterministic by
+   construction (cells in order, each cell's net list in order). *)
+type scratch = {
+  mutable stamp : int array;
+  mutable buf : int array;
+  mutable epoch : int;
+}
+
+let create_scratch () = { stamp = [||]; buf = Array.make 64 0; epoch = 0 }
+
+let dedup_nets scratch ~n_nets ~(cell_nets : int list array)
+    ~(cells : int array) =
+  if Array.length scratch.stamp < n_nets then begin
+    scratch.stamp <- Array.make n_nets 0;
+    scratch.epoch <- 0
+  end;
+  scratch.epoch <- scratch.epoch + 1;
+  let epoch = scratch.epoch and stamp = scratch.stamp in
+  let count = ref 0 in
+  let push ni =
+    if Array.unsafe_get stamp ni <> epoch then begin
+      Array.unsafe_set stamp ni epoch;
+      if !count = Array.length scratch.buf then begin
+        let buf' = Array.make (2 * !count) 0 in
+        Array.blit scratch.buf 0 buf' 0 !count;
+        scratch.buf <- buf'
+      end;
+      scratch.buf.(!count) <- ni;
+      incr count
+    end
+  in
+  Array.iter (fun c -> List.iter push cell_nets.(c)) cells;
+  let nets = Array.sub scratch.buf 0 !count in
+  Array.sort Int.compare nets;  (* determinism: fixed assembly order *)
+  nets
+
 (* Local QP over [cells] only; [cell_nets] is the cached incidence map.
-   Only nets touching a movable cell are assembled. *)
-let solve_local (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t)
-    ~(cell_nets : int list array) ~(cells : int array) ~anchor =
+   Only nets touching a movable cell are assembled.  [scratch] lets a
+   sequential caller (the repartitioner) reuse the dedup arrays across
+   windows. *)
+let solve_local (cfg : Config.t) (nl : Netlist.t) (pos : Placement.t) ?scratch
+    ~(cell_nets : int list array) ~(cells : int array) ~anchor () =
   if Array.length cells = 0 then
     { vars = 0; cg_iterations = 0; residual = 0.0; converged = true }
   else begin
-    let seen = Hashtbl.create 64 in
-    Array.iter
-      (fun c ->
-        List.iter (fun ni -> if not (Hashtbl.mem seen ni) then Hashtbl.add seen ni ()) cell_nets.(c))
-      cells;
-    let nets = Array.of_seq (Hashtbl.to_seq_keys seen) in
-    Array.sort Int.compare nets;  (* determinism *)
+    let scratch =
+      match scratch with Some s -> s | None -> create_scratch ()
+    in
+    let nets =
+      dedup_nets scratch ~n_nets:(Netlist.n_nets nl) ~cell_nets ~cells
+    in
     let sys =
       Netmodel.assemble nl pos ~movable:cells ~nets
         ~clique_max_degree:cfg.Config.clique_max_degree ~anchor ()

@@ -10,20 +10,35 @@ type stats = {
 }
 
 (** Solve an assembled system, writing cell positions back into the
-    placement (star variables are discarded). *)
+    placement (star variables are discarded).  The x- and y-axis CG solves
+    run concurrently on the domain pool; metrics are recorded after the
+    join in fixed x-then-y order, so observation streams stay
+    deterministic. *)
 val solve_system : Config.t -> Netmodel.system -> Placement.t -> stats
 
 (** All movable cell ids of a netlist. *)
 val all_movable : Netlist.t -> int array
 
-(** Global QP over every movable cell. *)
+(** Global QP over every movable cell.  [cache] enables symbolic-structure
+    reuse across rounds (see {!Netmodel.cache}). *)
 val solve_global :
   Config.t -> Netlist.t -> Placement.t ->
-  anchor:(int -> (float * float * float * float) option) -> stats
+  ?cache:Netmodel.cache ->
+  anchor:(int -> (float * float * float * float) option) -> unit -> stats
+
+(** Reusable net-dedup scratch for {!solve_local}: stamp array over net
+    ids plus a growable buffer — allocation-free dedup, deterministic
+    collection order.  Not safe for concurrent use; give each sequential
+    caller its own. *)
+type scratch
+
+val create_scratch : unit -> scratch
 
 (** Local QP over [cells] only, everything else fixed; [cell_nets] is the
-    cached incidence map from {!Netlist.cell_nets}. *)
+    cached incidence map from {!Netlist.cell_nets}.  [scratch] reuses the
+    net-dedup arrays across calls (one is allocated per call otherwise). *)
 val solve_local :
   Config.t -> Netlist.t -> Placement.t ->
+  ?scratch:scratch ->
   cell_nets:int list array -> cells:int array ->
-  anchor:(int -> (float * float * float * float) option) -> stats
+  anchor:(int -> (float * float * float * float) option) -> unit -> stats

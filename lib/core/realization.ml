@@ -194,11 +194,14 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
     in
     ((w, m), cells, transit_arcs)
   in
-  (* process one node against read-only inputs; returns the moves *)
+  (* process one node against read-only inputs; returns the moves plus the
+     local-QP solver stats (recorded by the caller post-join in wave order,
+     so the metrics stream stays deterministic at any domain count) *)
   let process_node snapshot ((w, m), cells, transit_arcs) =
-    if cells = [] then ((w, m), [||])
+    if cells = [] then ((w, m), [||], None)
     else begin
       let cells = Array.of_list cells in
+      let qp_stats = ref None in
       (* 1. local QP for connectivity (optional) *)
       let qx = Array.map (fun c -> snapshot.Placement.x.(c)) cells in
       let qy = Array.map (fun c -> snapshot.Placement.y.(c)) cells in
@@ -229,8 +232,15 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
               yv.(v) <- snapshot.Placement.y.(c)
             end)
           sys.Netmodel.cells;
-        ignore (Fbp_linalg.Cg.solve ~max_iter:60 ~tol:1e-4 sys.Netmodel.ax sys.Netmodel.bx xv);
-        ignore (Fbp_linalg.Cg.solve ~max_iter:60 ~tol:1e-4 sys.Netmodel.ay sys.Netmodel.by yv);
+        let st_x =
+          Fbp_linalg.Cg.solve ~record:false ~max_iter:60 ~tol:1e-4
+            sys.Netmodel.ax sys.Netmodel.bx xv
+        in
+        let st_y =
+          Fbp_linalg.Cg.solve ~record:false ~max_iter:60 ~tol:1e-4
+            sys.Netmodel.ay sys.Netmodel.by yv
+        in
+        qp_stats := Some (st_x, st_y);
         Array.iteri
           (fun i _ ->
             qx.(i) <- xv.(i);
@@ -261,7 +271,8 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
         ((w, m),
          Array.mapi
            (fun i c -> fallback_move w m c (Point.make qx.(i) qy.(i)))
-           cells)
+           cells,
+         !qp_stats)
       end
       else begin
         (* integral rounding can make cells outgrow the prescriptions:
@@ -288,7 +299,8 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
           ((w, m),
            Array.mapi
              (fun i c -> fallback_move w m c (Point.make qx.(i) qy.(i)))
-             cells)
+             cells,
+           !qp_stats)
         | Ok assignment ->
           let choice = Transport.round_integral assignment in
           (* Cells staying in a piece are not merely projected (that piles
@@ -358,7 +370,8 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
                    (c, land_.Point.x, land_.Point.y,
                     To_buffer { to_w = e.Fbp_model.to_w; x = land_.Point.x; y = land_.Point.y },
                     false))
-             cells)
+             cells,
+           !qp_stats)
       end
     end
   in
@@ -381,7 +394,12 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
       in
       (* deterministic commit in wave order *)
       Array.iter
-        (fun ((w, m), moves) ->
+        (fun ((w, m), moves, qp_stats) ->
+          (match qp_stats with
+          | Some (st_x, st_y) ->
+            Fbp_linalg.Cg.record_stats st_x;
+            Fbp_linalg.Cg.record_stats st_y
+          | None -> ());
           if Array.length moves > 0 then begin
             incr n_steps;
             let shipped = ref 0.0 and stayed = ref 0.0 in

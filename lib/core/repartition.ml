@@ -34,6 +34,8 @@ let sweep ?(span = 2) (cfg : Config.t) (inst : Fbp_movebound.Instance.t)
     ~(piece_of_cell : int array) ~(cell_nets : int list array) =
   let t0 = Fbp_util.Timer.now () in
   let nl = inst.Fbp_movebound.Instance.design.Design.netlist in
+  (* net-dedup scratch shared across this sweep's local QPs *)
+  let qp_scratch = Qp.create_scratch () in
   let k = Fbp_movebound.Instance.n_movebounds inst in
   let hpwl_before = Hpwl.total nl pos in
   let n_blocks = ref 0 and n_moved = ref 0 in
@@ -67,7 +69,8 @@ let sweep ?(span = 2) (cfg : Config.t) (inst : Fbp_movebound.Instance.t)
         (* local QP over the block (everything else fixed) *)
         if cfg.Config.local_qp then
           ignore
-            (Qp.solve_local cfg nl pos ~cell_nets ~cells ~anchor:(fun _ -> None));
+            (Qp.solve_local cfg nl pos ~scratch:qp_scratch ~cell_nets ~cells
+               ~anchor:(fun _ -> None) ());
         (* transportation among the block's pieces; capacities = the piece
            capacities (global feasibility already holds, so the block's
            cells fit its pieces by induction) *)

@@ -4,7 +4,16 @@
    The QP matrices are Laplacians plus positive diagonal (fixed pins and
    anchors), hence SPD whenever every connected component touches something
    fixed — which the placer guarantees by always adding at least a weak
-   anchor per movable cell. *)
+   anchor per movable cell.
+
+   PR 5 restructured the iteration around the fused [Vec] kernels: the
+   residual update, preconditioner application and both dot products
+   (r·z for beta, r·r for the convergence check) happen in one memory pass
+   ([Vec.update_residual]), and the residual norm is tracked from that
+   recurrence instead of re-running [Vec.norm2 r] — the seed recomputed it
+   twice per iteration (once for the check, once for the final stats).
+   ||r|| is now computed exactly once per convergence check, and the final
+   reported residual reuses the tracked value. *)
 
 type stats = {
   iterations : int;
@@ -22,16 +31,12 @@ let solve_real ~max_iter ~tol (a : Csr.t) (b : float array) (x : float array) =
   Csr.mul a x ap;
   Vec.sub b ap r;
   let bnorm = Float.max 1.0 (Vec.norm2 b) in
-  let apply_precond () =
-    for i = 0 to n - 1 do
-      z.(i) <- inv_diag.(i) *. r.(i)
-    done
-  in
-  apply_precond ();
+  (* z = D^-1 r, with rz = r.z and rr = r.r from the same sweep *)
+  let rz0, rr0 = Vec.precond_dot2 inv_diag r z in
   Array.blit z 0 p 0 n;
-  let rz = ref (Vec.dot r z) in
+  let rz = ref rz0 and rr = ref rr0 in
   let iter = ref 0 in
-  let finished = ref (Vec.norm2 r /. bnorm <= tol) in
+  let finished = ref (sqrt !rr /. bnorm <= tol) in
   while (not !finished) && !iter < max_iter do
     incr iter;
     Csr.mul a p ap;
@@ -42,30 +47,35 @@ let solve_real ~max_iter ~tol (a : Csr.t) (b : float array) (x : float array) =
     else begin
       let alpha = !rz /. pap in
       Vec.axpy ~alpha p x;
-      Vec.axpy ~alpha:(-.alpha) ap r;
-      if Vec.norm2 r /. bnorm <= tol then finished := true
+      (* r -= alpha*ap; z = D^-1 r; rz' = r.z; rr' = r.r — one pass *)
+      let rz', rr' = Vec.update_residual ~alpha ap r inv_diag z in
+      rr := rr';
+      if sqrt rr' /. bnorm <= tol then finished := true
       else begin
-        apply_precond ();
-        let rz' = Vec.dot r z in
         let beta = rz' /. !rz in
         rz := rz';
-        for i = 0 to n - 1 do
-          p.(i) <- z.(i) +. (beta *. p.(i))
-        done
+        Vec.xpby ~beta z p
       end
     end
   done;
-  let residual = Vec.norm2 r /. bnorm in
+  let residual = sqrt !rr /. bnorm in
   let converged = residual <= tol *. 10.0 in
-  Fbp_obs.Obs.count "cg.solves";
-  if not converged then Fbp_obs.Obs.count "cg.nonconverged";
-  Fbp_obs.Obs.observe "cg.iterations" (float_of_int !iter);
   { iterations = !iter; residual; converged }
+
+let record_stats s =
+  Fbp_obs.Obs.count "cg.solves";
+  if not s.converged then Fbp_obs.Obs.count "cg.nonconverged";
+  Fbp_obs.Obs.observe "cg.iterations" (float_of_int s.iterations)
 
 (* Fault-injection shim: tests can simulate numerical stagnation (the
    iterate is left untouched, as after a breakdown-stop) or a domain
-   exception, to exercise the placer's safeguarded-restart path. *)
-let solve ?(max_iter = 0) ?(tol = 1e-7) (a : Csr.t) (b : float array) (x : float array) =
+   exception, to exercise the placer's safeguarded-restart path.
+
+   [record:false] defers metric recording to the caller (via
+   [record_stats]): the QP solves the x- and y-systems concurrently, and
+   observation order must stay deterministic. *)
+let solve ?(record = true) ?(max_iter = 0) ?(tol = 1e-7) (a : Csr.t)
+    (b : float array) (x : float array) =
   let n = Csr.dim a in
   if Array.length b <> n || Array.length x <> n then
     invalid_arg "Cg.solve: dimension mismatch";
@@ -75,4 +85,7 @@ let solve ?(max_iter = 0) ?(tol = 1e-7) (a : Csr.t) (b : float array) (x : float
     { iterations = max_iter; residual = 1.0; converged = false }
   | Some (Fbp_resilience.Inject.Raise msg) ->
     raise (Fbp_resilience.Inject.Injected msg)
-  | _ -> solve_real ~max_iter ~tol a b x
+  | _ ->
+    let s = solve_real ~max_iter ~tol a b x in
+    if record then record_stats s;
+    s

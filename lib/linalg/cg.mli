@@ -1,4 +1,10 @@
-(** Jacobi-preconditioned conjugate gradients for SPD systems. *)
+(** Jacobi-preconditioned conjugate gradients for SPD systems.
+
+    The iteration uses the fused {!Vec} kernels: residual update,
+    preconditioner application, and both dot products run in a single
+    memory pass, and the residual norm is tracked from the recurrence —
+    computed exactly once per convergence check, never re-derived from a
+    separate [norm2] sweep. *)
 
 type stats = {
   iterations : int;
@@ -8,5 +14,14 @@ type stats = {
 
 (** [solve a b x] improves [x] in place toward A x = b.
     [max_iter] defaults to max(100, 2n); [tol] to 1e-7.
+    [record] (default true) controls whether solver metrics are recorded
+    immediately; pass [~record:false] when solves run concurrently and
+    call {!record_stats} afterwards in a deterministic order.
     Raises [Invalid_argument] on dimension mismatch. *)
-val solve : ?max_iter:int -> ?tol:float -> Csr.t -> float array -> float array -> stats
+val solve :
+  ?record:bool -> ?max_iter:int -> ?tol:float -> Csr.t -> float array ->
+  float array -> stats
+
+(** Record the per-solve metrics ([cg.solves] / [cg.nonconverged] counters,
+    [cg.iterations] histogram) for a solve run with [~record:false]. *)
+val record_stats : stats -> unit

@@ -2,7 +2,33 @@
 
    The QP net models (clique/star) generate Laplacian-plus-diagonal systems;
    assembly accumulates duplicate triplets, then freezes into CSR for the
-   matrix-vector products inside conjugate gradients. *)
+   matrix-vector products inside conjugate gradients.
+
+   PR 5 rebuilt the assembly path for speed while keeping results
+   bit-identical:
+
+   - the builder stores triplets in growable unboxed [int]/[float] arrays
+     (the seed used three boxed lists: ~3 allocations per triplet and a
+     full unspool at freeze);
+   - [freeze] dedups each row with a stamp array over column ids instead of
+     a per-row [Hashtbl] (O(1) per entry, allocation-free), and sorts row
+     segments with an in-place dual-array quicksort instead of boxing
+     (col, val) tuples;
+   - across QP rounds the sparsity pattern is fixed (same nets, same
+     movable set), so [freeze_capture] additionally records the symbolic
+     structure — the raw triplet (row, col) sequence plus a permutation
+     from triplet slot to CSR slot — and [refreeze] re-assembles the next
+     round as a flat value sweep: verify the triplet stream matches
+     (O(count) int compares, falling back to a full freeze when the
+     topology changed), zero the values, scatter-accumulate.  Value
+     accumulation order equals the fresh-freeze order (insertion order per
+     duplicate group), so a reused and a fresh assembly are bit-identical.
+
+   [mul] runs row-chunked on the domain pool; each row's accumulation is a
+   fixed sequential sum, so the product does not depend on the domain
+   count. *)
+
+module Pool = Fbp_util.Pool
 
 type t = {
   n : int;                 (* square dimension *)
@@ -13,21 +39,45 @@ type t = {
 
 type builder = {
   dim : int;
-  mutable rows : int list;  (* triplets, reversed *)
-  mutable cols : int list;
-  mutable vals : float list;
+  mutable rows : int array;   (* triplets, insertion order *)
+  mutable cols : int array;
+  mutable vals : float array;
   mutable count : int;
 }
 
-let builder n = { dim = n; rows = []; cols = []; vals = []; count = 0 }
+type structure = {
+  s_dim : int;
+  s_rows : int array;      (* expected raw triplet stream *)
+  s_cols : int array;
+  s_perm : int array;      (* triplet slot -> CSR slot *)
+  s_row_start : int array; (* shared with every refrozen matrix *)
+  s_col : int array;
+}
+
+let builder n =
+  { dim = n; rows = Array.make 64 0; cols = Array.make 64 0;
+    vals = Array.make 64 0.0; count = 0 }
+
+let grow b =
+  let cap = Array.length b.rows in
+  let cap' = cap * 2 in
+  let rows' = Array.make cap' 0 and cols' = Array.make cap' 0 in
+  let vals' = Array.make cap' 0.0 in
+  Array.blit b.rows 0 rows' 0 cap;
+  Array.blit b.cols 0 cols' 0 cap;
+  Array.blit b.vals 0 vals' 0 cap;
+  b.rows <- rows';
+  b.cols <- cols';
+  b.vals <- vals'
 
 let add b ~row ~col v =
   if row < 0 || row >= b.dim || col < 0 || col >= b.dim then
     invalid_arg "Csr.add: index out of range";
   if not (Float.equal v 0.0) then begin
-    b.rows <- row :: b.rows;
-    b.cols <- col :: b.cols;
-    b.vals <- v :: b.vals;
+    if b.count = Array.length b.rows then grow b;
+    Array.unsafe_set b.rows b.count row;
+    Array.unsafe_set b.cols b.count col;
+    Array.unsafe_set b.vals b.count v;
     b.count <- b.count + 1
   end
 
@@ -41,6 +91,11 @@ let add_spring b i j w =
 
 (* Diagonal-only convenience (anchors / fixed-pin stiffness). *)
 let add_diag b i w = add b ~row:i ~col:i w
+
+let builder_dim b = b.dim
+let builder_count b = b.count
+
+let reset b = b.count <- 0
 
 (* Structural well-formedness: monotone row pointers, strictly increasing
    in-range columns per row, finite values.  Returns the first violation. *)
@@ -90,100 +145,220 @@ let validate t =
   done;
   match !bad with None -> Ok () | Some msg -> Error msg
 
-let freeze b =
+(* In-place quicksort of cols.(lo..hi) with vals permuted alongside —
+   avoids the boxed (col, val) pairs the seed sorted.  Row segments are
+   usually tiny; star rows can be wide, hence quicksort over insertion
+   sort. *)
+let rec sort_segment cols vals lo hi =
+  if hi - lo > 8 then begin
+    let pivot = cols.((lo + hi) / 2) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while cols.(!i) < pivot do incr i done;
+      while cols.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        let tc = cols.(!i) in
+        cols.(!i) <- cols.(!j);
+        cols.(!j) <- tc;
+        let tv = vals.(!i) in
+        vals.(!i) <- vals.(!j);
+        vals.(!j) <- tv;
+        incr i;
+        decr j
+      end
+    done;
+    sort_segment cols vals lo !j;
+    sort_segment cols vals !i hi
+  end
+  else
+    for i = lo + 1 to hi do
+      let c = cols.(i) and v = vals.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && cols.(!j) > c do
+        cols.(!j + 1) <- cols.(!j);
+        vals.(!j + 1) <- vals.(!j);
+        decr j
+      done;
+      cols.(!j + 1) <- c;
+      vals.(!j + 1) <- v
+    done
+
+(* Shared freeze core: returns the CSR plus (when [capture]) the raw
+   triplet copy needed for symbolic reuse. *)
+let freeze_core b =
   let n = b.dim in
   let m = b.count in
-  let rows = Array.make m 0 and cols = Array.make m 0 and vals = Array.make m 0.0 in
-  let rec fill i rl cl vl =
-    match (rl, cl, vl) with
-    | r :: rl, c :: cl, v :: vl ->
-      rows.(i) <- r;
-      cols.(i) <- c;
-      vals.(i) <- v;
-      fill (i - 1) rl cl vl
-    | [], [], [] -> ()
-    | _ -> assert false
-  in
-  fill (m - 1) b.rows b.cols b.vals;
-  (* Counting sort by row. *)
+  (* counting sort by row; the scatter is stable, so within a row the
+     insertion order is preserved (duplicate accumulation order below is
+     therefore the insertion order — the determinism contract [refreeze]
+     relies on) *)
   let count = Array.make (n + 1) 0 in
   for k = 0 to m - 1 do
-    count.(rows.(k) + 1) <- count.(rows.(k) + 1) + 1
+    let r = Array.unsafe_get b.rows k in
+    count.(r + 1) <- count.(r + 1) + 1
   done;
   for i = 1 to n do
     count.(i) <- count.(i) + count.(i - 1)
   done;
-  let order = Array.make m 0 in
+  let gcol = Array.make m 0 and gval = Array.make m 0.0 in
   let cursor = Array.copy count in
   for k = 0 to m - 1 do
-    let r = rows.(k) in
-    order.(cursor.(r)) <- k;
-    cursor.(r) <- cursor.(r) + 1
+    let r = Array.unsafe_get b.rows k in
+    let at = cursor.(r) in
+    Array.unsafe_set gcol at (Array.unsafe_get b.cols k);
+    Array.unsafe_set gval at (Array.unsafe_get b.vals k);
+    cursor.(r) <- at + 1
   done;
-  (* Within each row, accumulate duplicates via a per-row scratch map. *)
+  (* per-row dedup via stamp arrays over column ids: stamp.(c) = r marks
+     column c as seen in row r, slot_of.(c) its accumulation slot *)
   let row_start = Array.make (n + 1) 0 in
   let col_acc = Array.make m 0 and val_acc = Array.make m 0.0 in
+  let stamp = Array.make n (-1) and slot_of = Array.make n 0 in
   let nnz = ref 0 in
-  let scratch = Hashtbl.create 16 in
   for r = 0 to n - 1 do
-    Hashtbl.reset scratch;
     row_start.(r) <- !nnz;
     for idx = count.(r) to count.(r + 1) - 1 do
-      let k = order.(idx) in
-      let c = cols.(k) in
-      match Hashtbl.find_opt scratch c with
-      | Some slot -> val_acc.(slot) <- val_acc.(slot) +. vals.(k)
-      | None ->
-        Hashtbl.add scratch c !nnz;
-        col_acc.(!nnz) <- c;
-        val_acc.(!nnz) <- vals.(k);
+      let c = Array.unsafe_get gcol idx in
+      if Array.unsafe_get stamp c = r then begin
+        let slot = Array.unsafe_get slot_of c in
+        Array.unsafe_set val_acc slot
+          (Array.unsafe_get val_acc slot +. Array.unsafe_get gval idx)
+      end
+      else begin
+        Array.unsafe_set stamp c r;
+        Array.unsafe_set slot_of c !nnz;
+        Array.unsafe_set col_acc !nnz c;
+        Array.unsafe_set val_acc !nnz (Array.unsafe_get gval idx);
         incr nnz
+      end
     done
   done;
   row_start.(n) <- !nnz;
-  (* Sort columns within each row: deterministic layout independent of
+  (* sort columns within each row: deterministic layout independent of
      triplet insertion order, and strictly-increasing columns become a
-     checkable invariant (see [validate]). *)
-  let pair = Array.make !nnz (0, 0.0) in
+     checkable invariant (see [validate]) *)
   for r = 0 to n - 1 do
     let lo = row_start.(r) and hi = row_start.(r + 1) in
-    for k = lo to hi - 1 do
-      pair.(k) <- (col_acc.(k), val_acc.(k))
-    done;
-    let seg = Array.sub pair lo (hi - lo) in
-    Array.sort (fun (a, _) (b, _) -> Int.compare a b) seg;
-    Array.iteri
-      (fun i (c, v) ->
-        col_acc.(lo + i) <- c;
-        val_acc.(lo + i) <- v)
-      seg
+    if hi - lo > 1 then sort_segment col_acc val_acc lo (hi - 1)
   done;
-  let t =
+  {
+    n;
+    row_start;
+    col = Array.sub col_acc 0 !nnz;
+    value = Array.sub val_acc 0 !nnz;
+  }
+
+let check_frozen ~site t =
+  Fbp_resilience.Sanitize.check ~site ~invariant:"CSR well-formedness"
+    (fun () -> validate t)
+
+let freeze b =
+  let t = freeze_core b in
+  check_frozen ~site:"csr.freeze" t;
+  t
+
+(* Binary search for [c] in the sorted row segment [lo, hi). *)
+let find_slot col lo hi c =
+  let lo = ref lo and hi = ref (hi - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let cm = Array.unsafe_get col mid in
+    if cm = c then found := mid
+    else if cm < c then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let freeze_capture b =
+  let t = freeze_core b in
+  check_frozen ~site:"csr.freeze" t;
+  let m = b.count in
+  let perm = Array.make m 0 in
+  for k = 0 to m - 1 do
+    let r = Array.unsafe_get b.rows k in
+    let slot =
+      find_slot t.col t.row_start.(r) t.row_start.(r + 1)
+        (Array.unsafe_get b.cols k)
+    in
+    (* every triplet was folded into exactly one slot of its row *)
+    assert (slot >= 0);
+    perm.(k) <- slot
+  done;
+  let s =
     {
-      n;
-      row_start;
-      col = Array.sub col_acc 0 !nnz;
-      value = Array.sub val_acc 0 !nnz;
+      s_dim = b.dim;
+      s_rows = Array.sub b.rows 0 m;
+      s_cols = Array.sub b.cols 0 m;
+      s_perm = perm;
+      s_row_start = t.row_start;
+      s_col = t.col;
     }
   in
-  Fbp_resilience.Sanitize.check ~site:"csr.freeze"
-    ~invariant:"CSR well-formedness" (fun () -> validate t);
-  t
+  (t, s)
+
+let structure_matches s b =
+  b.dim = s.s_dim && b.count = Array.length s.s_rows
+  && begin
+    let ok = ref true in
+    let m = b.count in
+    let k = ref 0 in
+    while !ok && !k < m do
+      if
+        Array.unsafe_get b.rows !k <> Array.unsafe_get s.s_rows !k
+        || Array.unsafe_get b.cols !k <> Array.unsafe_get s.s_cols !k
+      then ok := false;
+      incr k
+    done;
+    !ok
+  end
+
+let refreeze s b =
+  if not (structure_matches s b) then None
+  else begin
+    let nnz = Array.length s.s_col in
+    let value = Array.make nnz 0.0 in
+    let perm = s.s_perm in
+    for k = 0 to b.count - 1 do
+      let slot = Array.unsafe_get perm k in
+      Array.unsafe_set value slot
+        (Array.unsafe_get value slot +. Array.unsafe_get b.vals k)
+    done;
+    let t = { n = s.s_dim; row_start = s.s_row_start; col = s.s_col; value } in
+    check_frozen ~site:"csr.refreeze" t;
+    Some t
+  end
 
 let dim t = t.n
 let nnz t = t.row_start.(t.n)
+
+(* Rows per parallel chunk in [mul]; each row is an independent fixed
+   sequential accumulation, so chunking never affects the product. *)
+let mul_grain = 2048
 
 (* out <- A x *)
 let mul t x out =
   if Array.length x <> t.n || Array.length out <> t.n then
     invalid_arg "Csr.mul: dimension mismatch";
-  for r = 0 to t.n - 1 do
-    let acc = ref 0.0 in
-    for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
-      acc := !acc +. (t.value.(k) *. x.(t.col.(k)))
-    done;
-    out.(r) <- !acc
-  done
+  let row_start = t.row_start and col = t.col and value = t.value in
+  let rows lo hi =
+    for r = lo to hi - 1 do
+      let acc = ref 0.0 in
+      for k = Array.unsafe_get row_start r to Array.unsafe_get row_start (r + 1) - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get value k
+              *. Array.unsafe_get x (Array.unsafe_get col k))
+      done;
+      Array.unsafe_set out r !acc
+    done
+  in
+  let k = Fbp_util.Pool.n_chunks ~grain:mul_grain t.n in
+  if k <= 1 then rows 0 t.n
+  else
+    Pool.run_chunks ~n_chunks:k (fun c ->
+        let lo, hi = Pool.chunk_bounds ~n:t.n ~n_chunks:k c in
+        rows lo hi)
 
 let diagonal t =
   let d = Array.make t.n 0.0 in
@@ -200,6 +375,13 @@ let get t r c =
     if t.col.(k) = c then acc := !acc +. t.value.(k)
   done;
   !acc
+
+let iter_entries t f =
+  for r = 0 to t.n - 1 do
+    for k = t.row_start.(r) to t.row_start.(r + 1) - 1 do
+      f r t.col.(k) t.value.(k)
+    done
+  done
 
 let is_symmetric ?(eps = 1e-9) t =
   let ok = ref true in

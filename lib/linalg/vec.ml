@@ -1,4 +1,18 @@
-(* Dense float vectors — the few BLAS-1 kernels conjugate gradients needs. *)
+(* Dense float vectors — the BLAS-1 kernels conjugate gradients needs.
+
+   Reductions (dot / norm) are chunked through [Fbp_util.Pool.reduce]: the
+   chunk count and boundaries are a pure function of the vector length, and
+   per-chunk partials are combined in a fixed-shape tree over chunk order,
+   so results are bit-identical for any domain count — sequential execution
+   included, because the sequential path uses the same chunking.  Elementwise
+   kernels write disjoint slices and are trivially deterministic.
+
+   The fused kernels ([precond_dot2], [update_residual]) exist for CG:
+   folding the preconditioner application and both residual dot products
+   into one sweep saves three memory passes per iteration, which is where a
+   memory-bound solve spends its time. *)
+
+module Pool = Fbp_util.Pool
 
 type t = float array
 
@@ -6,36 +20,117 @@ let create n = Array.make n 0.0
 
 let copy = Array.copy
 
+(* Items per chunk for both reductions and elementwise sweeps: small enough
+   to parallelize the QP systems, large enough that per-chunk overhead
+   vanishes.  Changing it changes float summation shape (and hence last-bit
+   results), so treat it as part of the numerical contract. *)
+let grain = 4096
+
+let dot_range a b lo hi =
+  let acc = ref 0.0 in
+  for i = lo to hi - 1 do
+    acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+  done;
+  !acc
+
 let dot a b =
   let n = Array.length a in
   if Array.length b <> n then invalid_arg "Vec.dot: length mismatch";
-  let acc = ref 0.0 in
-  for i = 0 to n - 1 do
-    acc := !acc +. (a.(i) *. b.(i))
-  done;
-  !acc
+  match Pool.reduce ~grain ~n (dot_range a b) ( +. ) with
+  | Some v -> v
+  | None -> 0.0
+
+let sqnorm2 a = dot a a
 
 let norm2 a = sqrt (dot a a)
 
 let norm_inf a = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 a
 
+(* Elementwise sweeps share one chunked driver; each chunk owns a disjoint
+   slice. *)
+let sweep n body =
+  let k = Pool.n_chunks ~grain n in
+  if k <= 1 then body 0 n
+  else
+    Pool.run_chunks ~n_chunks:k (fun c ->
+        let lo, hi = Pool.chunk_bounds ~n ~n_chunks:k c in
+        body lo hi)
+
 (* y <- y + alpha * x *)
 let axpy ~alpha x y =
   let n = Array.length x in
   if Array.length y <> n then invalid_arg "Vec.axpy: length mismatch";
-  for i = 0 to n - 1 do
-    y.(i) <- y.(i) +. (alpha *. x.(i))
-  done
+  sweep n (fun lo hi ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set y i
+          (Array.unsafe_get y i +. (alpha *. Array.unsafe_get x i))
+      done)
+
+(* y <- x + beta * y  (the CG direction update) *)
+let xpby ~beta x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Vec.xpby: length mismatch";
+  sweep n (fun lo hi ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set y i
+          (Array.unsafe_get x i +. (beta *. Array.unsafe_get y i))
+      done)
 
 (* x <- alpha * x *)
 let scale ~alpha x =
-  for i = 0 to Array.length x - 1 do
-    x.(i) <- alpha *. x.(i)
-  done
+  sweep (Array.length x) (fun lo hi ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set x i (alpha *. Array.unsafe_get x i)
+      done)
 
 (* out <- a - b *)
 let sub a b out =
   let n = Array.length a in
-  for i = 0 to n - 1 do
-    out.(i) <- a.(i) -. b.(i)
-  done
+  if Array.length b <> n || Array.length out <> n then
+    invalid_arg "Vec.sub: length mismatch";
+  sweep n (fun lo hi ->
+      for i = lo to hi - 1 do
+        Array.unsafe_set out i (Array.unsafe_get a i -. Array.unsafe_get b i)
+      done)
+
+let add2 (a1, b1) (a2, b2) = (a1 +. a2, b1 +. b2)
+
+(* z <- d * r (Jacobi preconditioner); returns (r.z, r.r) in one sweep. *)
+let precond_dot2 d r z =
+  let n = Array.length r in
+  if Array.length d <> n || Array.length z <> n then
+    invalid_arg "Vec.precond_dot2: length mismatch";
+  let chunk lo hi =
+    let rz = ref 0.0 and rr = ref 0.0 in
+    for i = lo to hi - 1 do
+      let ri = Array.unsafe_get r i in
+      let zi = Array.unsafe_get d i *. ri in
+      Array.unsafe_set z i zi;
+      rz := !rz +. (ri *. zi);
+      rr := !rr +. (ri *. ri)
+    done;
+    (!rz, !rr)
+  in
+  match Pool.reduce ~grain ~n chunk add2 with Some v -> v | None -> (0.0, 0.0)
+
+(* r <- r - alpha * ap;  z <- d * r;  returns (r.z, r.r) — the whole CG
+   residual update in one memory pass. *)
+let update_residual ~alpha ap r d z =
+  let n = Array.length r in
+  if Array.length ap <> n || Array.length d <> n || Array.length z <> n then
+    invalid_arg "Vec.update_residual: length mismatch";
+  let chunk lo hi =
+    let rz = ref 0.0 and rr = ref 0.0 in
+    for i = lo to hi - 1 do
+      let ri =
+        Array.unsafe_get r i -. (alpha *. Array.unsafe_get ap i)
+      in
+      Array.unsafe_set r i ri;
+      let zi = Array.unsafe_get d i *. ri in
+      Array.unsafe_set z i zi;
+      rz := !rz +. (ri *. zi);
+      rr := !rr +. (ri *. ri)
+    done;
+    (!rz, !rr)
+  in
+  match Pool.reduce ~grain ~n chunk add2 with Some v -> v | None -> (0.0, 0.0)

@@ -1,4 +1,9 @@
-(** Dense float vectors: the BLAS-1 kernels conjugate gradients needs. *)
+(** Dense float vectors: the BLAS-1 kernels conjugate gradients needs.
+
+    Reductions are chunked deterministically (chunk shape is a pure
+    function of the length; partials combine in a fixed tree over chunk
+    order), so every result is bit-identical for any domain count.  The
+    fused kernels save memory passes inside CG. *)
 
 type t = float array
 
@@ -8,14 +13,29 @@ val copy : t -> t
 (** Raises [Invalid_argument] on length mismatch. *)
 val dot : t -> t -> float
 
+(** [dot a a] without the square root. *)
+val sqnorm2 : t -> float
+
 val norm2 : t -> float
 val norm_inf : t -> float
 
 (** [axpy ~alpha x y]: y <- y + alpha * x. *)
 val axpy : alpha:float -> t -> t -> unit
 
+(** [xpby ~beta x y]: y <- x + beta * y (the CG direction update). *)
+val xpby : beta:float -> t -> t -> unit
+
 (** [scale ~alpha x]: x <- alpha * x. *)
 val scale : alpha:float -> t -> unit
 
 (** [sub a b out]: out <- a - b. *)
 val sub : t -> t -> t -> unit
+
+(** [precond_dot2 d r z]: z <- d*r elementwise; returns [(r.z, r.r)]
+    computed in the same sweep. *)
+val precond_dot2 : t -> t -> t -> float * float
+
+(** [update_residual ~alpha ap r d z]: r <- r - alpha*ap, z <- d*r, and
+    returns [(r.z, r.r)] — one memory pass for the whole CG residual
+    update. *)
+val update_residual : alpha:float -> t -> t -> t -> t -> float * float

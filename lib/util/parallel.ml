@@ -1,79 +1,64 @@
-(* Deterministic fork-join parallelism over OCaml 5 domains.
+(* Deterministic fork-join parallelism over the persistent domain pool.
 
    The FBP realization (paper Section IV-B) processes independent external
    flow edges in parallel "waves": within a wave, work items touch disjoint
    coarse windows, so they commute.  We split each wave into contiguous
-   chunks, run one domain per chunk and join in order, which makes the result
-   identical to the sequential execution — the determinism property the paper
-   emphasizes ("preserves deterministic behavior"). *)
+   chunks keyed by index and join results in index order, which makes the
+   result identical to the sequential execution — the determinism property
+   the paper emphasizes ("preserves deterministic behavior").
 
-let default_domains =
-  Atomic.make (max 1 (min 8 (Domain.recommended_domain_count ())))
+   Since PR 5 the execution runs on [Fbp_util.Pool]: worker domains are
+   spawned once and reused, so a wave costs mutex handoffs instead of
+   [Domain.spawn]/[join] pairs.  Exception semantics are unchanged — every
+   chunk runs, all workers survive, and the first failure in chunk order is
+   re-raised. *)
 
-let set_default_domains n = Atomic.set default_domains (max 1 n)
+let set_default_domains = Pool.set_default_domains
+let get_default_domains = Pool.get_default_domains
 
-let get_default_domains () = Atomic.get default_domains
-
-(* [map_array ~domains f a]: like [Array.map f a] but evaluated by [domains]
-   domains over contiguous chunks.  [f] must be safe to run concurrently on
-   distinct indices.  Results are assembled in index order. *)
+(* [map_array ~domains f a]: like [Array.map f a] but evaluated over
+   contiguous index chunks on the pool.  [f] must be safe to run
+   concurrently on distinct indices.  Results are assembled in index
+   order. *)
 let map_array ?domains f a =
-  let domains = match domains with Some d -> max 1 d | None -> Atomic.get default_domains in
   let n = Array.length a in
   if n = 0 then [||]
-  else if domains = 1 || n = 1 then Array.map f a
   else begin
-    let k = min domains n in
-    let chunk = (n + k - 1) / k in
-    let work lo hi = Array.init (hi - lo) (fun i -> f a.(lo + i)) in
-    let spawned =
-      List.init (k - 1) (fun d ->
-          let lo = (d + 1) * chunk in
-          let hi = min n (lo + chunk) in
-          if lo >= hi then None
-          else Some (Domain.spawn (fun () -> (lo, work lo hi))))
-    in
-    (* Run the main-thread chunk and join *every* spawned domain before
-       propagating any exception — an early re-raise would leak running
-       domains (and any exception they raise in turn).  The first failure in
-       chunk order (main chunk, then spawned chunks) wins. *)
-    let main =
-      try Ok (work 0 (min chunk n))
-      with e -> Error (e, Printexc.get_raw_backtrace ())
-    in
-    let joined =
-      List.map
-        (function
-          | None -> None
-          | Some d ->
-            Some
-              (try Ok (Domain.join d)
-               with e -> Error (e, Printexc.get_raw_backtrace ())))
-        spawned
-    in
-    let reraise (e, bt) = Printexc.raise_with_backtrace e bt in
-    (match main with
-     | Error eb -> reraise eb
-     | Ok first ->
-       (match
-          List.find_map (function Some (Error eb) -> Some eb | _ -> None) joined
-        with
-        | Some eb -> reraise eb
-        | None ->
-          let out = Array.make n first.(0) in
-          Array.blit first 0 out 0 (Array.length first);
-          List.iter
-            (function
-              | Some (Ok (lo, part)) -> Array.blit part 0 out lo (Array.length part)
-              | _ -> ())
-            joined;
-          out))
+    let d = match domains with Some d -> max 1 d | None -> Pool.get_default_domains () in
+    if d = 1 || n = 1 then Array.map f a
+    else begin
+      let k = min d n in
+      let parts = Array.make k [||] in
+      Pool.run_chunks ~domains:d ~n_chunks:k (fun c ->
+          let lo, hi = Pool.chunk_bounds ~n ~n_chunks:k c in
+          parts.(c) <- Array.init (hi - lo) (fun i -> f a.(lo + i)));
+      let out = Array.make n parts.(0).(0) in
+      let cursor = ref 0 in
+      Array.iter
+        (fun part ->
+          Array.blit part 0 out !cursor (Array.length part);
+          cursor := !cursor + Array.length part)
+        parts;
+      out
+    end
   end
 
 (* [iter_array ~domains f a]: parallel [Array.iter]; [f] must only write to
    state private to its index (e.g. disjoint slices of shared arrays). *)
 let iter_array ?domains f a =
-  ignore (map_array ?domains (fun x -> f x) a)
+  let n = Array.length a in
+  if n > 0 then begin
+    let d = match domains with Some d -> max 1 d | None -> Pool.get_default_domains () in
+    if d = 1 || n = 1 then Array.iter f a
+    else begin
+      let k = min d n in
+      Pool.run_chunks ~domains:d ~n_chunks:k (fun c ->
+          let lo, hi = Pool.chunk_bounds ~n ~n_chunks:k c in
+          for i = lo to hi - 1 do
+            f a.(i)
+          done)
+    end
+  end
 
 (* [init ~domains n f]: parallel [Array.init]. *)
 let init ?domains n f =

@@ -1,18 +1,21 @@
-(** Deterministic fork-join parallelism over OCaml 5 domains.
+(** Deterministic fork-join parallelism over the persistent domain pool
+    ({!Pool}).
 
     Work is split into contiguous chunks joined in index order, so results
     equal the sequential execution — the determinism property the paper's
-    parallel realization preserves. *)
+    parallel realization preserves.  Worker domains are spawned once and
+    reused across calls. *)
 
-(** Set the default number of domains used when [?domains] is omitted. *)
+(** Set the default number of domains used when [?domains] is omitted
+    (delegates to {!Pool.set_default_domains}). *)
 val set_default_domains : int -> unit
 
 val get_default_domains : unit -> int
 
 (** Parallel [Array.map]. [f] must be safe to run concurrently on distinct
-    indices.  If [f] raises in any chunk, all spawned domains are still
-    joined before the first exception (in chunk order) is re-raised — no
-    domain is ever leaked. *)
+    indices.  If [f] raises in any chunk, every chunk still runs and the
+    first exception (in chunk order) is re-raised — no worker domain is
+    ever lost and the pool stays reusable. *)
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** Parallel [Array.iter]. [f] must only touch state private to its index. *)

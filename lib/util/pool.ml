@@ -1,0 +1,277 @@
+(* Persistent worker-domain pool with deterministic chunking.
+
+   [Domain.spawn] costs tens of microseconds and a GC handshake; the seed
+   paid it for every parallel realization wave and would have paid it per
+   CG kernel call.  This pool spawns each worker domain once, parks it on a
+   condition variable, and hands out idle workers to parallel regions from
+   a free list — so a region costs two mutex handoffs per worker instead of
+   a spawn/join pair, and nested regions (a realization worker running a
+   local CG) simply find no free workers and run on their own domain: no
+   blocking acquire, hence no deadlock by construction.
+
+   Determinism contract (the property PR 4's lint and sanitizer enforce):
+   results must be bit-identical for any domain count.  Two mechanisms:
+
+   - work is split into chunks whose count and boundaries depend only on
+     the problem size ([n_chunks] / [chunk_bounds]), never on how many
+     domains execute them;
+   - reductions combine per-chunk partials in a fixed-shape binary tree
+     over the chunk index order ([reduce]), so float summation order is a
+     function of the size alone.
+
+   Which domain executes which chunk is scheduled dynamically (an atomic
+   cursor), but every chunk writes only its own slot, so scheduling cannot
+   influence results — only wall-clock. *)
+
+type worker = {
+  wid : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;  (* guarded by [mutex] *)
+}
+
+(* Completion latch of one parallel region. *)
+type region = {
+  rmutex : Mutex.t;
+  rcond : Condition.t;
+  mutable pending : int;
+}
+
+(* Hard cap on pool workers (domains beyond the caller's).  Far above any
+   sane [FBP_DOMAINS]; placement kernels are memory-bound long before. *)
+let max_workers = 30
+
+type state = {
+  lock : Mutex.t;
+  workers : worker option array;  (* slot i <-> worker i, spawned lazily *)
+  mutable n_spawned : int;
+  mutable free : int list;  (* idle worker ids *)
+}
+
+let state =
+  {
+    lock = Mutex.create ();
+    workers = Array.make max_workers None;
+    n_spawned = 0;
+    free = [];
+  }
+
+let default_domains =
+  let fallback () = max 1 (min 8 (Domain.recommended_domain_count ())) in
+  Atomic.make
+    (match Sys.getenv_opt "FBP_DOMAINS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n (max_workers + 1)
+      | _ -> fallback ())
+    | None -> fallback ())
+
+let set_default_domains n =
+  Atomic.set default_domains (max 1 (min n (max_workers + 1)))
+
+let get_default_domains () = Atomic.get default_domains
+
+let resolve = function
+  | Some d -> max 1 (min d (max_workers + 1))
+  | None -> Atomic.get default_domains
+
+(* Workers loop forever: jobs are exception-safe wrappers built by
+   [run_chunks]/[fork2], so nothing can escape into the loop.  A worker
+   parked in [Condition.wait] does not keep the process alive: the runtime
+   exits with the main domain. *)
+let rec worker_loop (w : worker) =
+  Mutex.lock w.mutex;
+  while w.job = None do
+    Condition.wait w.cond w.mutex
+  done;
+  let job = w.job in
+  w.job <- None;
+  Mutex.unlock w.mutex;
+  (match job with Some j -> j () | None -> ());
+  worker_loop w
+
+let spawn_worker wid =
+  let w = { wid; mutex = Mutex.create (); cond = Condition.create (); job = None } in
+  ignore (Domain.spawn (fun () -> worker_loop w) : unit Domain.t);
+  w
+
+(* Take up to [k] idle workers without blocking, spawning new domains while
+   below the cap.  Returns fewer (possibly none) when the pool is busy —
+   the caller then runs those shares itself. *)
+let acquire k =
+  if k <= 0 then []
+  else begin
+    Mutex.lock state.lock;
+    let rec go k acc =
+      if k = 0 then acc
+      else
+        match state.free with
+        | id :: tl ->
+          state.free <- tl;
+          let w = match state.workers.(id) with Some w -> w | None -> assert false in
+          go (k - 1) (w :: acc)
+        | [] ->
+          if state.n_spawned < max_workers then begin
+            let id = state.n_spawned in
+            let w = spawn_worker id in
+            state.workers.(id) <- Some w;
+            state.n_spawned <- state.n_spawned + 1;
+            go (k - 1) (w :: acc)
+          end
+          else acc
+    in
+    let ws = go k [] in
+    Mutex.unlock state.lock;
+    ws
+  end
+
+let release ws =
+  Mutex.lock state.lock;
+  List.iter (fun w -> state.free <- w.wid :: state.free) ws;
+  Mutex.unlock state.lock
+
+let dispatch w job =
+  Mutex.lock w.mutex;
+  w.job <- Some job;
+  Condition.signal w.cond;
+  Mutex.unlock w.mutex
+
+let region_done r =
+  Mutex.lock r.rmutex;
+  r.pending <- r.pending - 1;
+  if r.pending = 0 then Condition.signal r.rcond;
+  Mutex.unlock r.rmutex
+
+let region_wait r =
+  Mutex.lock r.rmutex;
+  while r.pending > 0 do
+    Condition.wait r.rcond r.rmutex
+  done;
+  Mutex.unlock r.rmutex
+
+(* ------------------------------------------------ deterministic chunking *)
+
+(* Chunk-count cap: partial arrays stay tiny and the reduction tree shallow
+   while chunks keep growing with n.  Must stay a pure function of n. *)
+let max_chunks = 64
+
+let n_chunks ~grain n =
+  if n <= 0 then 0 else min max_chunks ((n + grain - 1) / grain)
+
+let chunk_bounds ~n ~n_chunks c = (c * n / n_chunks, (c + 1) * n / n_chunks)
+
+(* ------------------------------------------------------ parallel regions *)
+
+let reraise (e, bt) = Printexc.raise_with_backtrace e bt
+
+(* First recorded failure in chunk order; every chunk always runs (no
+   cancellation), so which exception wins is deterministic. *)
+let check_errors errs =
+  match Array.find_map Fun.id errs with Some eb -> reraise eb | None -> ()
+
+let run_chunks ?domains ~n_chunks:k body =
+  if k > 0 then begin
+    let d = min (resolve domains) k in
+    if d <= 1 then
+      for c = 0 to k - 1 do
+        body c
+      done
+    else begin
+      let helpers = acquire (d - 1) in
+      if helpers = [] then
+        for c = 0 to k - 1 do
+          body c
+        done
+      else begin
+        let errs = Array.make k None in
+        let next = Atomic.make 0 in
+        let rec drain () =
+          let c = Atomic.fetch_and_add next 1 in
+          if c < k then begin
+            (try body c
+             with e -> errs.(c) <- Some (e, Printexc.get_raw_backtrace ()));
+            drain ()
+          end
+        in
+        let r =
+          { rmutex = Mutex.create (); rcond = Condition.create ();
+            pending = List.length helpers }
+        in
+        List.iter
+          (fun w ->
+            dispatch w (fun () ->
+                drain ();
+                region_done r))
+          helpers;
+        drain ();
+        region_wait r;
+        release helpers;
+        check_errors errs
+      end
+    end
+  end
+
+let fork2 ?domains f g =
+  if resolve domains < 2 then
+    let a = f () in
+    let b = g () in
+    (a, b)
+  else
+    match acquire 1 with
+    | [] ->
+      let a = f () in
+      let b = g () in
+      (a, b)
+    | w :: _ as ws ->
+      let res_g = ref None in
+      let err_g = ref None in
+      let r =
+        { rmutex = Mutex.create (); rcond = Condition.create (); pending = 1 }
+      in
+      dispatch w (fun () ->
+          (try res_g := Some (g ())
+           with e -> err_g := Some (e, Printexc.get_raw_backtrace ()));
+          region_done r);
+      let res_f =
+        try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      region_wait r;
+      release ws;
+      (* deterministic precedence: the first task's failure wins *)
+      (match res_f with
+      | Error eb -> reraise eb
+      | Ok a -> (
+        match !err_g with
+        | Some eb -> reraise eb
+        | None -> (
+          match !res_g with Some b -> (a, b) | None -> assert false)))
+
+let reduce ?domains ~grain ~n chunk combine =
+  let k = n_chunks ~grain n in
+  if k = 0 then None
+  else if k = 1 then Some (chunk 0 n)
+  else begin
+    let parts = Array.make k None in
+    run_chunks ?domains ~n_chunks:k (fun c ->
+        let lo, hi = chunk_bounds ~n ~n_chunks:k c in
+        parts.(c) <- Some (chunk lo hi));
+    (* fixed-shape binary tree over chunk order: the combine shape depends
+       only on k, never on the executing domain count *)
+    let rec tree lo hi =
+      if hi - lo = 1 then
+        match parts.(lo) with Some v -> v | None -> assert false
+      else begin
+        let mid = lo + (((hi - lo) + 1) / 2) in
+        let l = tree lo mid in
+        let r = tree mid hi in
+        combine l r
+      end
+    in
+    Some (tree 0 k)
+  end
+
+let n_workers_spawned () =
+  Mutex.lock state.lock;
+  let n = state.n_spawned in
+  Mutex.unlock state.lock;
+  n

@@ -1,0 +1,57 @@
+(** Persistent worker-domain pool with deterministic chunking.
+
+    Worker domains are spawned once (lazily, up to an internal cap), parked
+    on condition variables, and handed to parallel regions from a free
+    list: a region costs two mutex handoffs per worker instead of a
+    [Domain.spawn]/[join] pair.  Acquisition never blocks — nested regions
+    (e.g. a local CG running on a realization worker) find no free workers
+    and execute on their own domain, so deadlock is impossible by
+    construction.
+
+    Determinism contract: results are bit-identical for any domain count.
+    Chunk count and boundaries depend only on the problem size, and
+    {!reduce} combines per-chunk partials in a fixed-shape binary tree over
+    chunk order; dynamic scheduling affects wall-clock only.
+
+    The default domain count is [FBP_DOMAINS] when set (clamped to the
+    pool cap), else [min 8 (Domain.recommended_domain_count ())]. *)
+
+val set_default_domains : int -> unit
+val get_default_domains : unit -> int
+
+(** Number of chunks for [n] items at the given [grain] (target items per
+    chunk), capped so partial arrays stay tiny.  Pure in [n] and [grain] —
+    never a function of the domain count. *)
+val n_chunks : grain:int -> int -> int
+
+(** [chunk_bounds ~n ~n_chunks c] is the half-open range of chunk [c]. *)
+val chunk_bounds : n:int -> n_chunks:int -> int -> int * int
+
+(** [run_chunks ~domains ~n_chunks body] executes [body c] for every chunk
+    [c] in [0, n_chunks), distributing chunks over up to [domains] domains
+    (the caller plus free pool workers).  [body] must only write state
+    private to its chunk.  If bodies raise, every chunk still runs and the
+    first failure in chunk order is re-raised — no worker is ever lost and
+    the pool is immediately reusable. *)
+val run_chunks : ?domains:int -> n_chunks:int -> (int -> unit) -> unit
+
+(** [fork2 f g] runs the two thunks concurrently when a worker is free
+    (and [domains] resolves to at least 2), else sequentially.  If both
+    raise, [f]'s exception wins (deterministic precedence). *)
+val fork2 : ?domains:int -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+(** [reduce ~grain ~n chunk combine] computes [chunk lo hi] partials over
+    the deterministic chunking of [0, n) and combines them in a fixed-shape
+    binary tree over chunk order, so the result is bit-identical for any
+    domain count even when [combine] is float addition.  [None] iff
+    [n <= 0]. *)
+val reduce :
+  ?domains:int ->
+  grain:int ->
+  n:int ->
+  (int -> int -> 'a) ->
+  ('a -> 'a -> 'a) ->
+  'a option
+
+(** Number of worker domains spawned so far (for tests/metrics). *)
+val n_workers_spawned : unit -> int

@@ -98,7 +98,7 @@ let test_qp_spring_chain () =
     }
   in
   let pos = Placement.create 2 in
-  let st = Qp.solve_global Config.default nl pos ~anchor:(fun _ -> None) in
+  let st = Qp.solve_global Config.default nl pos ~anchor:(fun _ -> None) () in
   Alcotest.(check bool) "solved" true (st.Qp.residual < 1e-4);
   Alcotest.(check (float 1e-3)) "x0 at 3" 3.0 pos.Placement.x.(0);
   Alcotest.(check (float 1e-3)) "x1 at 6" 6.0 pos.Placement.x.(1)
@@ -116,7 +116,9 @@ let test_qp_anchor_pulls () =
     }
   in
   let pos = Placement.create 1 in
-  ignore (Qp.solve_global Config.default nl pos ~anchor:(fun _ -> Some (1.0, 4.0, 1.0, -2.0)));
+  ignore
+    (Qp.solve_global Config.default nl pos
+       ~anchor:(fun _ -> Some (1.0, 4.0, 1.0, -2.0)) ());
   Alcotest.(check (float 1e-4)) "anchored x" 4.0 pos.Placement.x.(0);
   Alcotest.(check (float 1e-4)) "anchored y" (-2.0) pos.Placement.y.(0)
 
@@ -140,7 +142,7 @@ let test_qp_star_matches_small_clique_roughly () =
     }
   in
   let pos = Placement.create 5 in
-  ignore (Qp.solve_global Config.default nl pos ~anchor:(fun _ -> None));
+  ignore (Qp.solve_global Config.default nl pos ~anchor:(fun _ -> None) ());
   for c = 0 to 4 do
     Alcotest.(check (float 1e-2)) "pulled to pad x" 10.0 pos.Placement.x.(c);
     Alcotest.(check (float 1e-2)) "pulled to pad y" 10.0 pos.Placement.y.(c)

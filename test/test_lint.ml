@@ -64,6 +64,26 @@ let f xs =
       acc := x;
       !acc)
     xs
+|};
+  (* the Pool entry points are covered too, across every closure argument *)
+  check_finds "capture in Pool.run_chunks closure" "domain-safety"
+    {|let hits = ref 0
+let f () = Fbp_util.Pool.run_chunks ~n_chunks:4 (fun _c -> incr hits)
+|};
+  check_finds "capture in second fork2 closure" "domain-safety"
+    {|let hits = ref 0
+let f () =
+  Fbp_util.Pool.fork2 (fun () -> 1) (fun () -> incr hits; 2)
+|};
+  check_finds "capture in Pool.reduce closure" "domain-safety"
+    {|let seen = Hashtbl.create 8
+let f n =
+  Fbp_util.Pool.reduce ~grain:64 ~n
+    (fun lo _hi -> Hashtbl.replace seen lo (); float_of_int lo)
+    (fun a b -> a +. b)
+|};
+  check_clean "pure fork2"
+    {|let f () = Fbp_util.Pool.fork2 (fun () -> 1) (fun () -> 2)
 |}
 
 (* ---------- float-discipline ---------- *)

@@ -16,6 +16,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
       ("resilience", Test_resilience.suite);
+      ("parallel-determinism", Test_parallel_determinism.suite);
       ("sanitize", Test_sanitize.suite);
       ("lint", Test_lint.suite);
       ("viz", Test_viz.suite);

@@ -1,0 +1,233 @@
+(* PR 5 determinism suite: the pool/kernel stack must produce bit-identical
+   results at any domain count, survive exceptions without losing workers,
+   and the symbolic-reuse assembly path must equal the fresh path bitwise.
+
+   "Bit-identical" is checked with [Alcotest.float 0.0] (zero tolerance) or
+   by comparing [Int64.bits_of_float] directly. *)
+
+open Fbp_netlist
+open Fbp_core
+module Pool = Fbp_util.Pool
+module Parallel = Fbp_util.Parallel
+module Vec = Fbp_linalg.Vec
+module Csr = Fbp_linalg.Csr
+
+let bits = Int64.bits_of_float
+
+(* Run [f] with the pool default set to [d], restoring the previous default
+   afterwards (the suites share one process). *)
+let with_domains d f =
+  let prev = Pool.get_default_domains () in
+  Pool.set_default_domains d;
+  Fun.protect ~finally:(fun () -> Pool.set_default_domains prev) f
+
+(* ---------- chunking is a pure function of n ---------- *)
+
+let test_chunking_pure () =
+  List.iter
+    (fun n ->
+      let k = Pool.n_chunks ~grain:64 n in
+      Alcotest.(check bool) "at least one chunk" true (n <= 0 || k >= 1);
+      (* chunks tile [0, n) exactly, in order *)
+      let covered = ref 0 in
+      for c = 0 to k - 1 do
+        let lo, hi = Pool.chunk_bounds ~n ~n_chunks:k c in
+        Alcotest.(check int) "contiguous" !covered lo;
+        Alcotest.(check bool) "nonempty" true (hi > lo);
+        covered := hi
+      done;
+      if k > 0 then Alcotest.(check int) "covers n" n !covered)
+    [ 1; 63; 64; 65; 1000; 4096; 100_000 ]
+
+(* ---------- reductions bit-identical across domain counts ---------- *)
+
+let test_dot_bitwise_across_domains () =
+  let rng = Fbp_util.Rng.create 11 in
+  let n = 30_000 in
+  let a = Array.init n (fun _ -> Fbp_util.Rng.range rng (-1.0) 1.0) in
+  let b = Array.init n (fun _ -> Fbp_util.Rng.range rng (-1.0) 1.0) in
+  let reference = with_domains 1 (fun () -> (Vec.dot a b, Vec.sqnorm2 a)) in
+  List.iter
+    (fun d ->
+      let got = with_domains d (fun () -> (Vec.dot a b, Vec.sqnorm2 a)) in
+      Alcotest.(check int64)
+        (Printf.sprintf "dot bits at %d domains" d)
+        (bits (fst reference)) (bits (fst got));
+      Alcotest.(check int64)
+        (Printf.sprintf "sqnorm2 bits at %d domains" d)
+        (bits (snd reference)) (bits (snd got)))
+    [ 2; 3; 8 ]
+
+(* ---------- spmv bit-identical across domain counts ---------- *)
+
+let random_system rng n =
+  let b = Csr.builder n in
+  for i = 0 to n - 1 do
+    Csr.add_diag b i (4.0 +. Fbp_util.Rng.float rng);
+    let j = Fbp_util.Rng.int rng n in
+    if j <> i then Csr.add_spring b i j (0.5 +. Fbp_util.Rng.float rng)
+  done;
+  b
+
+let test_spmv_bitwise_across_domains () =
+  let rng = Fbp_util.Rng.create 23 in
+  let n = 9000 in
+  let a = Csr.freeze (random_system rng n) in
+  let x = Array.init n (fun _ -> Fbp_util.Rng.range rng (-5.0) 5.0) in
+  let run d =
+    with_domains d (fun () ->
+        let out = Array.make n 0.0 in
+        Csr.mul a x out;
+        out)
+  in
+  let seq = run 1 in
+  List.iter
+    (fun d ->
+      let par = run d in
+      let mismatches = ref 0 in
+      for i = 0 to n - 1 do
+        if bits seq.(i) <> bits par.(i) then incr mismatches
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "spmv bits at %d domains" d)
+        0 !mismatches)
+    [ 2; 8 ]
+
+(* ---------- symbolic reuse equals fresh assembly ---------- *)
+
+(* Fixed topology (seed 31), values drawn from an independent stream — so
+   two builders share the triplet (row, col) sequence but not the values,
+   exactly the QP-round situation refreeze exists for. *)
+let topo_system ~values_seed n =
+  let topo_rng = Fbp_util.Rng.create 31 in
+  let val_rng = Fbp_util.Rng.create values_seed in
+  let b = Csr.builder n in
+  for i = 0 to n - 1 do
+    Csr.add_diag b i (4.0 +. Fbp_util.Rng.float val_rng);
+    let j = Fbp_util.Rng.int topo_rng n in
+    if j <> i then Csr.add_spring b i j (0.5 +. Fbp_util.Rng.float val_rng)
+  done;
+  b
+
+let test_refreeze_bitwise () =
+  let n = 500 in
+  let _, structure = Csr.freeze_capture (topo_system ~values_seed:1 n) in
+  let reference = Csr.freeze (topo_system ~values_seed:2 n) in
+  match Csr.refreeze structure (topo_system ~values_seed:2 n) with
+  | None -> Alcotest.fail "refreeze rejected an identical topology"
+  | Some reused ->
+    Alcotest.(check int) "nnz equal" (Csr.nnz reference) (Csr.nnz reused);
+    let mismatches = ref 0 in
+    Csr.iter_entries reference (fun r c v ->
+        if bits (Csr.get reused r c) <> bits v then incr mismatches);
+    Alcotest.(check int) "values bit-identical" 0 !mismatches
+
+let test_refreeze_rejects_changed_topology () =
+  let base () =
+    let b = Csr.builder 4 in
+    Csr.add_diag b 0 1.0;
+    Csr.add_spring b 0 1 2.0;
+    Csr.add_spring b 1 2 3.0;
+    b
+  in
+  let _, structure = Csr.freeze_capture (base ()) in
+  (* extra triplet: stream longer than captured *)
+  let b2 = base () in
+  Csr.add_diag b2 3 1.0;
+  (match Csr.refreeze structure b2 with
+  | Some _ -> Alcotest.fail "refreeze accepted a longer stream"
+  | None -> ());
+  (* same length, different endpoint in one spring *)
+  let b3 = Csr.builder 4 in
+  Csr.add_diag b3 0 1.0;
+  Csr.add_spring b3 0 1 2.0;
+  Csr.add_spring b3 1 3 3.0;
+  (match Csr.refreeze structure b3 with
+  | Some _ -> Alcotest.fail "refreeze accepted a different stream"
+  | None -> ());
+  (* unchanged stream still accepted *)
+  match Csr.refreeze structure (base ()) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "refreeze rejected the captured stream"
+
+(* ---------- exception propagation + pool reuse ---------- *)
+
+exception Boom of int
+
+let test_pool_exceptions_and_reuse () =
+  with_domains 4 (fun () ->
+      (* first failure in chunk order wins, even when a later chunk also
+         raises and scheduling is dynamic *)
+      (match
+         Pool.run_chunks ~domains:4 ~n_chunks:8 (fun c ->
+             if c = 2 || c = 5 then raise (Boom c))
+       with
+      | () -> Alcotest.fail "expected Boom"
+      | exception Boom c -> Alcotest.(check int) "first chunk error" 2 c);
+      (* fork2: f's exception takes precedence over g's *)
+      (match
+         Pool.fork2 ~domains:2
+           (fun () -> raise (Boom 1))
+           (fun () -> raise (Boom 2))
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom c -> Alcotest.(check int) "fork2 f wins" 1 c);
+      (* the pool is immediately reusable after failures *)
+      let a = Array.init 1000 (fun i -> i) in
+      let doubled = Parallel.map_array ~domains:4 (fun v -> 2 * v) a in
+      Alcotest.(check bool) "pool reusable after exceptions" true
+        (Array.for_all2 (fun v w -> w = 2 * v) a doubled);
+      Alcotest.(check bool) "workers were actually spawned" true
+        (Pool.n_workers_spawned () >= 1))
+
+(* ---------- e2e: placer bit-identical at any domain count ---------- *)
+
+let test_placer_bitwise_and_records () =
+  let d = Generator.quick ~seed:51 ~name:"det" 500 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  let nl = d.Design.netlist in
+  let run domains =
+    with_domains domains (fun () ->
+        Fbp_obs.Obs.enable ();
+        Fbp_obs.Obs.reset ();
+        let rep =
+          match
+            Placer.place ~config:{ Config.default with domains } inst
+          with
+          | Error e -> Alcotest.fail (Fbp_resilience.Fbp_error.to_string e)
+          | Ok rep -> rep
+        in
+        let records =
+          ( Fbp_obs.Obs.counter_value "cg.solves",
+            Fbp_obs.Obs.counter_value "cg.nonconverged",
+            Fbp_obs.Obs.histogram_values "cg.iterations" )
+        in
+        Fbp_obs.Obs.disable ();
+        (rep.Placer.placement, Hpwl.total nl rep.Placer.placement, records))
+  in
+  let p1, h1, r1 = run 1 in
+  let p8, h8, r8 = run 8 in
+  Alcotest.(check (array (float 0.0))) "x bit-identical" p1.Placement.x p8.Placement.x;
+  Alcotest.(check (array (float 0.0))) "y bit-identical" p1.Placement.y p8.Placement.y;
+  Alcotest.(check int64) "hpwl bit-identical" (bits h1) (bits h8);
+  let c1, nc1, it1 = r1 and c8, nc8, it8 = r8 in
+  Alcotest.(check int) "cg.solves equal" c1 c8;
+  Alcotest.(check int) "cg.nonconverged equal" nc1 nc8;
+  Alcotest.(check (array (float 0.0))) "cg.iterations stream equal" it1 it8
+
+let suite =
+  [
+    Alcotest.test_case "chunking pure in n" `Quick test_chunking_pure;
+    Alcotest.test_case "dot bitwise across domains" `Quick
+      test_dot_bitwise_across_domains;
+    Alcotest.test_case "spmv bitwise across domains" `Quick
+      test_spmv_bitwise_across_domains;
+    Alcotest.test_case "refreeze bitwise equals freeze" `Quick
+      test_refreeze_bitwise;
+    Alcotest.test_case "refreeze rejects changed topology" `Quick
+      test_refreeze_rejects_changed_topology;
+    Alcotest.test_case "pool exceptions + reuse" `Quick
+      test_pool_exceptions_and_reuse;
+    Alcotest.test_case "placer bitwise + run records" `Slow
+      test_placer_bitwise_and_records;
+  ]
