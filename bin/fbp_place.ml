@@ -201,15 +201,21 @@ let place_cmd =
                | None -> []);
         };
       let result =
-        Obs.span "cli.place"
-          ~args:(fun () -> [ ("design", input) ])
-          (fun () ->
-            match tool with
-            | `Fbp ->
-              Fbp_workloads.Runner.run_fbp
-                ~config:{ Fbp_core.Config.default with domains; deadline; strict } inst
-            | `Rql -> Fbp_workloads.Runner.run_rql inst
-            | `Kw -> Fbp_workloads.Runner.run_kraftwerk inst)
+        (* belt and braces: nothing may bypass [finish] — an exception
+           escaping any engine (e.g. a sanitizer violation raised past a
+           result boundary) still becomes a typed exit with the trace,
+           metrics and run record written *)
+        try
+          Obs.span "cli.place"
+            ~args:(fun () -> [ ("design", input) ])
+            (fun () ->
+              match tool with
+              | `Fbp ->
+                Fbp_workloads.Runner.run_fbp
+                  ~config:{ Fbp_core.Config.default with domains; deadline; strict } inst
+              | `Rql -> Fbp_workloads.Runner.run_rql inst
+              | `Kw -> Fbp_workloads.Runner.run_kraftwerk inst)
+        with e -> Error (Err.of_exn ~site:"cli.place" e)
       in
       (match result with
        | Error e -> finish (fail_typed e)
@@ -354,6 +360,94 @@ let metrics_check_cmd =
              summaries complete, keys sorted).")
     Term.(const run $ input)
 
+(* ---------------------------------------------------------------- fuzz *)
+
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let count =
+    Arg.(value & opt int 200
+         & info [ "count"; "n" ] ~doc:"Number of scenarios to generate.")
+  in
+  let matrix =
+    Arg.(value & flag
+         & info [ "matrix" ]
+           ~doc:"Also run every scenario against all fault-matrix cells \
+                 (each scenario crossed with every injection site × fault \
+                 kind the pipeline documents).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ]
+           ~doc:"Replay a single repro artifact written by a previous fuzz \
+                 run instead of fuzzing; exits with the scenario's taxonomy \
+                 code." ~docv:"FILE")
+  in
+  let out_dir =
+    Arg.(value & opt (some string) None
+         & info [ "out" ]
+           ~doc:"Write shrunk repro artifacts and run records for findings \
+                 into $(docv)." ~docv:"DIR")
+  in
+  let time_cap =
+    Arg.(value & opt (some float) None
+         & info [ "time-cap" ]
+           ~doc:"Wall-clock cap in seconds; generation stops early (the \
+                 report is marked truncated) but never mid-scenario."
+           ~docv:"SECONDS")
+  in
+  let run seed count matrix replay out_dir time_cap =
+    let module Fuzz = Fbp_workloads.Fuzz in
+    match replay with
+    | Some file ->
+      let text =
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      (match Fuzz.repro_of_json text with
+       | Error msg ->
+         prerr_endline ("bad repro artifact: " ^ msg);
+         Err.exit_code (Err.Parse_error { file; line = 0; msg })
+       | Ok scenario ->
+         Printf.printf "replaying %s\n" (Fuzz.scenario_to_json scenario);
+         let rr = Fuzz.run_scenario scenario in
+         Printf.printf "outcome: %s (fault %s)\n"
+           (Fuzz.outcome_label rr.Fuzz.outcome)
+           (if rr.Fuzz.fault_fired then "fired" else "not fired");
+         (match rr.Fuzz.outcome with
+          | Fuzz.Passed -> 0
+          | Fuzz.Typed e -> Err.exit_code e
+          | Fuzz.Invariant _ | Fuzz.Uncaught _ -> 1))
+    | None ->
+      (* CI smoke mode: a short, seed-pinned, hard-capped campaign *)
+      let smoke =
+        match Sys.getenv_opt "FBP_FUZZ_SMOKE" with
+        | Some "1" -> true
+        | Some _ | None -> false
+      in
+      let count = if smoke then min count 50 else count in
+      let time_cap =
+        if smoke then Some (match time_cap with Some c -> c | None -> 120.0)
+        else time_cap
+      in
+      let report =
+        Fuzz.run ~matrix ?time_cap ?out_dir ~seed ~count ()
+      in
+      print_string (Fuzz.render_report report);
+      if report.Fuzz.failures = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Property-based scenario fuzzing: generate random design / \
+             movebound / fault configurations, run each through the full \
+             placer with the sanitizer on, check flow/transport/containment \
+             invariants and the feasibility promise, shrink failures to \
+             minimal replayable repro artifacts.  Deterministic for a given \
+             seed.")
+    Term.(const run $ seed $ count $ matrix $ replay $ out_dir $ time_cap)
+
 (* -------------------------------------------------------------- tables *)
 
 let tables_cmd =
@@ -396,5 +490,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; check_cmd; place_cmd; report_cmd; diff_record_cmd;
-            metrics_check_cmd; tables_cmd; trace_check_cmd ]))
+          [ generate_cmd; check_cmd; place_cmd; fuzz_cmd; report_cmd;
+            diff_record_cmd; metrics_check_cmd; tables_cmd; trace_check_cmd ]))

@@ -103,6 +103,30 @@ if $fbp diff-record "$tmp/run.json" "$tmp/worse.json" >/dev/null 2>&1; then
   echo "diff-record failed to flag a regressed run"; exit 1
 fi
 
+echo "== fuzz smoke (seed-pinned campaign, twice: zero failures + same digest)"
+# FBP_FUZZ_SMOKE=1 clamps the campaign to 50 scenarios under a hard
+# wall-clock cap; the matrix crosses each scenario with every fault cell.
+# Two runs must be byte-identical (the digest line folds every outcome), and
+# a failure exits 1: any escaped exception, invariant violation, or
+# escaped corruption fails the push gate with a shrunk repro in the log.
+FBP_FUZZ_SMOKE=1 $fbp fuzz --seed 42 --count 50 --matrix --time-cap 120 \
+  > "$tmp/fuzz1.txt" || { echo "fuzz smoke found failures:"; cat "$tmp/fuzz1.txt"; exit 1; }
+FBP_FUZZ_SMOKE=1 $fbp fuzz --seed 42 --count 50 --matrix --time-cap 120 \
+  > "$tmp/fuzz2.txt" || { echo "fuzz smoke found failures on rerun"; exit 1; }
+cmp -s "$tmp/fuzz1.txt" "$tmp/fuzz2.txt" \
+  || { echo "fuzz campaign is not reproducible:"; diff "$tmp/fuzz1.txt" "$tmp/fuzz2.txt" || true; exit 1; }
+grep -q "failures: none" "$tmp/fuzz1.txt" \
+  || { echo "fuzz smoke reported failures"; exit 1; }
+# a repro artifact written by the campaign must replay to the same outcome
+$fbp fuzz --seed 42 --count 6 --matrix --out "$tmp/fuzz-repros" > /dev/null || true
+repro="$(ls "$tmp"/fuzz-repros/repro-*.json 2>/dev/null | head -n 1 || true)"
+if [ -n "$repro" ]; then
+  replay_code=0
+  $fbp fuzz --replay "$repro" > "$tmp/replay.txt" 2>&1 || replay_code=$?
+  [ "$replay_code" -eq 8 ] \
+    || { echo "control repro must replay to the sanitizer exit (8), got $replay_code"; exit 1; }
+fi
+
 echo "== example figures (regenerates out/fig*.svg)"
 dune exec examples/figures.exe >/dev/null \
   || { echo "examples/figures.exe failed"; exit 1; }

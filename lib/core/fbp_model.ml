@@ -54,6 +54,7 @@ type t = {
   arcs : (int * arc_kind) array;  (* (arc id, kind) *)
   n_nodes : int;
   n_edges : int;  (* forward arcs *)
+  relaxed : bool;  (* built with [relax_penalty] (inadmissible arcs exist) *)
 }
 
 type external_flow = {
@@ -276,6 +277,7 @@ let build ?relax_penalty (inst : Fbp_movebound.Instance.t)
     arcs;
     n_nodes;
     n_edges = Array.length arcs;
+    relaxed = Option.is_some relax_penalty;
   }
 
 (* Cancel directed flow cycles among external arcs: the min-cost solution

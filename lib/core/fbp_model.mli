@@ -33,6 +33,9 @@ type t = {
   arcs : (int * arc_kind) array;
   n_nodes : int;
   n_edges : int;  (** forward arcs (Table I's |E|) *)
+  relaxed : bool;
+      (** built with [relax_penalty]: arcs into inadmissible pieces exist,
+          so a cell may legitimately land outside its movebound *)
 }
 
 type external_flow = {

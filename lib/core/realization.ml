@@ -467,7 +467,10 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
         cells)
     residue;
   (* Sanitizer: every movable cell must end in a piece whose region admits
-     its movebound class, at a position inside the piece area. *)
+     its movebound class, at a position inside the piece area.  A model
+     built with [relax_penalty] (the Movebounds_relaxed degradation)
+     legitimately routes cells into inadmissible pieces, so only the
+     positional half of the invariant applies then. *)
   Fbp_resilience.Sanitize.check ~site:"realization.commit"
     ~invariant:"movebound containment" (fun () ->
       let bad = ref None in
@@ -481,7 +484,10 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
               let p = grid.Grid.pieces.(pid) in
               let reg = regions.Fbp_movebound.Regions.regions.(p.Grid.region) in
               let mb = nl.Netlist.movebound.(c) in
-              if not (Fbp_movebound.Regions.admissible reg ~mb) then
+              if
+                (not model.Fbp_model.relaxed)
+                && not (Fbp_movebound.Regions.admissible reg ~mb)
+              then
                 report
                   (Printf.sprintf
                      "cell %d (movebound %d) assigned to inadmissible piece %d"

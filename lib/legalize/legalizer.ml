@@ -454,18 +454,60 @@ let run_impl ?(movebound_aware = true) (inst : Fbp_movebound.Instance.t)
   n_failed := List.length final_failures;
   let avg = Placement.avg_displacement before pos in
   let worst = Placement.max_displacement before pos in
-  {
-    n_legalized = !n_legalized;
-    n_spilled = !n_spilled;
-    n_failed = !n_failed;
-    avg_displacement = avg;
-    max_displacement = worst;
-    time = Fbp_util.Timer.now () -. t0;
-  }
+  ( {
+      n_legalized = !n_legalized;
+      n_spilled = !n_spilled;
+      n_failed = !n_failed;
+      avg_displacement = avg;
+      max_displacement = worst;
+      time = Fbp_util.Timer.now () -. t0;
+    },
+    final_failures )
 
+(* Deterministically damage a legalized placement: displace the first
+   successfully legalized movable cell outside the chip.  Models a
+   legalizer bug for the sanitizer tests. *)
+let corrupt_placement (inst : Fbp_movebound.Instance.t) (pos : Placement.t)
+    ~failed =
+  let design = inst.Fbp_movebound.Instance.design in
+  let nl = design.Design.netlist in
+  let chip = design.Design.chip in
+  let victim = ref (-1) in
+  for c = Netlist.n_cells nl - 1 downto 0 do
+    if (not nl.Netlist.fixed.(c)) && not (List.exists (Int.equal c) failed) then
+      victim := c
+  done;
+  if !victim >= 0 then begin
+    pos.Placement.x.(!victim) <-
+      chip.Fbp_geometry.Rect.x1 +. (2.0 *. design.Design.row_height);
+    pos.Placement.y.(!victim) <-
+      chip.Fbp_geometry.Rect.y1 +. (2.0 *. design.Design.row_height)
+  end
+
+(* Fault-injection shim + post-legalization containment audit: a [Raise]
+   fault models a legalizer failure; [Corrupt] displaces a cell off-chip
+   after the sweep so the sanitizer's audit sees a wrong answer.  Cells
+   the legalizer itself reported as failed are excused from the audit —
+   they stay at their (possibly arbitrary) pre-legalization spots and are
+   already counted in [n_failed]. *)
 let run ?movebound_aware inst regions pos ~piece_of_cell ~grid =
   Fbp_obs.Obs.span "legalize.run" (fun () ->
-      let stats = run_impl ?movebound_aware inst regions pos ~piece_of_cell ~grid in
-      Fbp_obs.Obs.count ~n:stats.n_spilled "legalize.spilled_cells";
-      Fbp_obs.Obs.count ~n:stats.n_failed "legalize.failed_cells";
-      stats)
+      match Fbp_resilience.Inject.fire Fbp_resilience.Inject.Legalize with
+      | Some (Fbp_resilience.Inject.Raise msg) ->
+        raise (Fbp_resilience.Inject.Injected msg)
+      | fired ->
+        let stats, failed =
+          run_impl ?movebound_aware inst regions pos ~piece_of_cell ~grid
+        in
+        (match fired with
+        | Some Fbp_resilience.Inject.Corrupt ->
+          corrupt_placement inst pos ~failed
+        | _ -> ());
+        Fbp_resilience.Sanitize.check ~site:"legalize.run"
+          ~invariant:"chip containment" (fun () ->
+            Fbp_movebound.Legality.audit_containment
+              ~ignore:(fun c -> List.exists (Int.equal c) failed)
+              inst pos);
+        Fbp_obs.Obs.count ~n:stats.n_spilled "legalize.spilled_cells";
+        Fbp_obs.Obs.count ~n:stats.n_failed "legalize.failed_cells";
+        stats)

@@ -56,6 +56,24 @@ let check (inst : Instance.t) (p : Placement.t) =
 
 let is_legal inst p = (check inst p).n_violations = 0
 
+(* Result-returning containment audit for sanitizer use: every movable
+   cell not excused by [ignore] lies entirely on the chip.  Stops at the
+   first offender so the sanitizer's violation detail stays small. *)
+let audit_containment ?(ignore = fun _ -> false) (inst : Instance.t)
+    (p : Placement.t) =
+  let d = inst.Instance.design in
+  let nl = d.Design.netlist in
+  let bad = ref None in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    if Option.is_none !bad && (not nl.Netlist.fixed.(c)) && not (ignore c) then
+      if not (Rect.contains d.Design.chip (Placement.cell_rect nl p c)) then
+        bad :=
+          Some
+            (Printf.sprintf "cell %d at (%.6g, %.6g) outside the chip" c
+               p.Placement.x.(c) p.Placement.y.(c))
+  done;
+  match !bad with None -> Ok () | Some msg -> Error msg
+
 (* Chip containment audit (cells entirely on the chip). *)
 let count_outside_chip (inst : Instance.t) (p : Placement.t) =
   let d = inst.Instance.design in

@@ -13,5 +13,11 @@ type report = {
 val check : Instance.t -> Placement.t -> report
 val is_legal : Instance.t -> Placement.t -> bool
 
+(** Sanitizer containment audit: [Ok ()] iff every movable cell not
+    excused by [ignore] lies entirely on the chip; [Error detail] names
+    the first offender.  [ignore] defaults to excusing nothing. *)
+val audit_containment :
+  ?ignore:(int -> bool) -> Instance.t -> Placement.t -> (unit, string) result
+
 (** Movable cells not entirely inside the chip area. *)
 val count_outside_chip : Instance.t -> Placement.t -> int

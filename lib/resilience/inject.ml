@@ -2,7 +2,7 @@
    contract; the implementation is a site-keyed table of firing schedules
    with a global enabled flag so un-instrumented runs pay one read. *)
 
-type site = Mcf | Cg | Parse | Level
+type site = Mcf | Cg | Parse | Level | Transport | Legalize
 
 type fault =
   | Infeasible of float

@@ -20,12 +20,24 @@ type site =
       (** polled 3x per placer refinement level: at level start, after the
           QP solve and after the flow solve (the two mid-level deadline
           checks) *)
+  | Transport
+      (** entry of {!Fbp_flow.Transport.solve}; supports [Raise] (solver
+          failure) and [Corrupt] (tamper the assignment after solving, so
+          the balance audit sees a wrong answer) *)
+  | Legalize
+      (** entry of {!Fbp_legalize.Legalizer.run}; supports [Raise]
+          (legalizer failure) and [Corrupt] (displace a legalized cell
+          outside the chip, so the containment audit sees a wrong
+          answer) *)
 
 type fault =
   | Infeasible of float
       (** [Mcf]: report [Infeasible] with this unrouted amount. *)
   | Stagnate  (** [Cg]: return immediately with [converged = false]. *)
-  | Corrupt  (** [Parse]: positioned parse error at the current line. *)
+  | Corrupt
+      (** [Parse]: positioned parse error at the current line.
+          [Mcf]/[Transport]/[Legalize]: silently tamper the stage's output
+          (the sanitizer's control case). *)
   | Raise of string  (** any site: raise {!Injected}. *)
   | Delay of float
       (** [Level]: add virtual seconds to the placer's deadline clock. *)

@@ -1,0 +1,28 @@
+(* Greedy deterministic shrinking: from the current failing value, try the
+   candidate reductions in order and restart from the first one that still
+   fails.  Termination: the attempt budget is finite and each accepted
+   step must come from the (finite) candidate list of the new value, so
+   the walk either exhausts candidates or the budget. *)
+
+type 'a outcome = {
+  value : 'a;
+  shrink_steps : int;
+  attempts : int;
+}
+
+let minimize ?(max_attempts = 256) ~steps ~still_fails v0 =
+  let attempts = ref 0 in
+  let rec walk v accepted =
+    let rec try_candidates = function
+      | [] -> { value = v; shrink_steps = accepted; attempts = !attempts }
+      | c :: rest ->
+        if !attempts >= max_attempts then
+          { value = v; shrink_steps = accepted; attempts = !attempts }
+        else begin
+          incr attempts;
+          if still_fails c then walk c (accepted + 1) else try_candidates rest
+        end
+    in
+    try_candidates (steps v)
+  in
+  walk v0 0

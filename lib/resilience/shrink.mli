@@ -1,0 +1,27 @@
+(** Greedy deterministic shrinking for property-based fuzzing.
+
+    Given a failing value, [minimize] repeatedly asks [steps] for smaller
+    candidate values and keeps the first candidate on which [still_fails]
+    holds, restarting from it; the walk ends when no candidate preserves
+    the failure or the attempt budget runs out.  With deterministic
+    [steps] and [still_fails] the result is deterministic, so a shrunk
+    repro replays bit-for-bit. *)
+
+type 'a outcome = {
+  value : 'a;  (** the minimized value (the input when nothing shrank) *)
+  shrink_steps : int;  (** accepted reductions *)
+  attempts : int;  (** total [still_fails] evaluations *)
+}
+
+(** [minimize ~steps ~still_fails v] greedily minimizes the failing value
+    [v].  [steps v'] must return candidate reductions of [v'], most
+    aggressive first (the greedy walk tries them in order).  [still_fails]
+    must be true on [v] itself — the caller established the failure; it is
+    never re-evaluated on [v].  [max_attempts] bounds the total number of
+    candidate evaluations (default 256). *)
+val minimize :
+  ?max_attempts:int ->
+  steps:('a -> 'a list) ->
+  still_fails:('a -> bool) ->
+  'a ->
+  'a outcome

@@ -44,9 +44,9 @@ let run_fbp ?(config = Fbp_core.Config.default) ?(repartition = 1)
     | Ok r -> Ok r.Fbp_baselines.Recursive.placement
     | Error e -> Error e
   in
-  match Fbp_core.Placer.place ~config ~fallback inst with
-  | Error e -> Error e
-  | Ok rep ->
+  (* post-place phase (repartition, legalization, audits), factored so the
+     match below can wrap it in exception protection *)
+  let post_place (rep : Fbp_core.Placer.report) =
     (* reflow post-pass (Repartition): a sweep or two of 2x2 block
        re-optimization recovers HPWL at negligible cost *)
     let repartition_time =
@@ -116,6 +116,16 @@ let run_fbp ?(config = Fbp_core.Config.default) ?(repartition = 1)
         }
     end;
     Ok m
+  in
+  match Fbp_core.Placer.place ~config ~fallback inst with
+  | Error e -> Error e
+  | Ok rep -> (
+    (* The post-place phase runs outside the placer's own exception
+       protection; convert anything escaping it — an injected fault, a
+       sanitizer violation raised as [Err.Error] — into the typed taxonomy
+       so callers still see a [result] and the recorder/trace exit paths
+       still run. *)
+    try post_place rep with e -> Error (Err.of_exn ~site:"runner.post_place" e))
 
 let run_rql ?params (inst : Fbp_movebound.Instance.t) =
   match Fbp_baselines.Rql.place ?params inst with

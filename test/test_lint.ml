@@ -115,6 +115,16 @@ let test_determinism () =
   check_finds "Unix.gettimeofday outside timer.ml" "determinism"
     {|let t () = Unix.gettimeofday ()
 |};
+  (* the fuzzer path is NOT exempt: all fuzz randomness must route through
+     Fbp_util.Rng, or campaigns stop replaying from their seed *)
+  check_finds "Random.self_init in fuzz code" "determinism" ~line:1
+    ~path:"lib/workloads/fuzz.ml"
+    {|let seed () = Random.self_init (); Random.bits ()
+|};
+  check_finds "Random draw in fuzz code" "determinism"
+    ~path:"lib/workloads/fuzz.ml"
+    {|let pick n = Random.int n
+|};
   check_clean "Random inside the rng module" ~path:"lib/util/rng.ml"
     {|let r () = Random.int 10
 |};

@@ -18,6 +18,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("parallel-determinism", Test_parallel_determinism.suite);
       ("sanitize", Test_sanitize.suite);
+      ("fuzz", Test_fuzz.suite);
       ("lint", Test_lint.suite);
       ("viz", Test_viz.suite);
     ]

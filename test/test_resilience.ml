@@ -323,6 +323,79 @@ let test_deadline_mid_level_post_flow () =
       | Error e -> fail_err "expected Deadline_exceeded" e
       | Ok _ -> Alcotest.fail "strict mode must surface the mid-level deadline")
 
+(* ---------- combined stress: deadline expiry while a fault is live ----------
+
+   The degradation ladder and the deadline clock interact inside one level:
+   a fault burns ladder rungs (margin drop, CG restart) and then the budget
+   expires mid-level.  The run must still come back with the last-good
+   checkpoint (graceful) or the deadline's exit code (strict) — never the
+   half-recovered level or an uncaught exception. *)
+
+let test_deadline_during_mcf_recovery_checkpoint () =
+  with_inject (fun () ->
+      (* level 2's flow solve is injected infeasible: the ladder drops the
+         margin and re-solves (real, feasible).  The post-flow poll then
+         blows the budget, so the whole half-recovered level must be rolled
+         back to level 1's checkpoint. *)
+      Inject.arm ~after:1 ~times:1 Inject.Mcf (Inject.Infeasible 2.0);
+      Inject.arm ~after:5 Inject.Level (Inject.Delay 100.0);
+      match place ~config:(deadline_config ~strict:false) (small_instance ()) with
+      | Error e -> fail_err "graceful mode must not fail" e
+      | Ok rep ->
+        Alcotest.(check int) "only level 1 realized" 1
+          (List.length rep.Placer.levels);
+        Alcotest.(check bool) "ladder engaged before the deadline" true
+          (List.exists
+             (function Placer.Margin_dropped { level = 2 } -> true | _ -> false)
+             rep.Placer.degradations);
+        Alcotest.(check bool) "deadline stop at level 2" true
+          (List.exists
+             (function
+               | Placer.Deadline_stop { level = 2; elapsed; budget } ->
+                 elapsed > budget
+               | _ -> false)
+             rep.Placer.degradations);
+        Alcotest.(check bool) "checkpoint finite" true
+          (placement_finite rep.Placer.placement))
+
+let test_deadline_during_cg_stagnation_checkpoint () =
+  with_inject (fun () ->
+      (* permanent CG stagnation (restarts keep failing) plus a delay at
+         level 2's start poll: the deadline must still win and return level
+         1's checkpoint, with both degradations on the record *)
+      Inject.arm Inject.Cg Inject.Stagnate;
+      Inject.arm ~after:3 Inject.Level (Inject.Delay 100.0);
+      match place ~config:(deadline_config ~strict:false) (small_instance ()) with
+      | Error e -> fail_err "graceful mode must not fail" e
+      | Ok rep ->
+        Alcotest.(check int) "only level 1 realized" 1
+          (List.length rep.Placer.levels);
+        Alcotest.(check bool) "cg restart recorded" true
+          (List.exists
+             (function Placer.Cg_restarted _ -> true | _ -> false)
+             rep.Placer.degradations);
+        Alcotest.(check bool) "deadline stop recorded" true
+          (List.exists
+             (function Placer.Deadline_stop { level = 2; _ } -> true | _ -> false)
+             rep.Placer.degradations);
+        Alcotest.(check bool) "checkpoint finite" true
+          (placement_finite rep.Placer.placement))
+
+let test_deadline_during_fault_strict_exit_code () =
+  with_inject (fun () ->
+      (* strict mode, a silent corruption in flight (sanitizer off, so it
+         does not trip) and the budget expiring mid-level: the typed error
+         must be the deadline, with its documented exit code *)
+      Inject.arm ~after:1 ~times:1 Inject.Mcf Inject.Corrupt;
+      Inject.arm ~after:5 Inject.Level (Inject.Delay 100.0);
+      match place ~config:(deadline_config ~strict:true) (small_instance ()) with
+      | Error (Err.Deadline_exceeded { level; elapsed; budget } as e) ->
+        Alcotest.(check int) "inside level 2" 2 level;
+        Alcotest.(check bool) "elapsed > budget" true (elapsed > budget);
+        Alcotest.(check int) "deadline exit code" 4 (Err.exit_code e)
+      | Error e -> fail_err "expected Deadline_exceeded" e
+      | Ok _ -> Alcotest.fail "strict mode must surface the deadline")
+
 (* ---------- escaped exceptions ---------- *)
 
 let test_domain_exception_checkpointed () =
@@ -429,6 +502,12 @@ let suite =
     Alcotest.test_case "deadline mid-level post-qp" `Quick test_deadline_mid_level_post_qp;
     Alcotest.test_case "deadline mid-level post-flow" `Quick
       test_deadline_mid_level_post_flow;
+    Alcotest.test_case "deadline during mcf recovery" `Quick
+      test_deadline_during_mcf_recovery_checkpoint;
+    Alcotest.test_case "deadline during cg stagnation" `Quick
+      test_deadline_during_cg_stagnation_checkpoint;
+    Alcotest.test_case "deadline during fault strict exit code" `Quick
+      test_deadline_during_fault_strict_exit_code;
     Alcotest.test_case "domain exception checkpointed" `Quick
       test_domain_exception_checkpointed;
     Alcotest.test_case "domain exception strict" `Quick test_domain_exception_strict;

@@ -209,6 +209,112 @@ let test_corruption_unnoticed_without_sanitizer () =
       | Ok _ -> ()
       | Error e -> Alcotest.fail ("unsanitized run failed: " ^ Err.to_string e))
 
+(* ---------- transport injection site ---------- *)
+
+let test_transport_injected_corruption_trips () =
+  with_sanitize (fun () ->
+      with_inject (fun () ->
+          Inject.arm Inject.Transport Inject.Corrupt;
+          match Transport.solve (transport_problem ()) with
+          | _ -> Alcotest.fail "corrupted transport must trip the sanitizer"
+          | exception Err.Error (Err.Sanitizer_violation { site; _ }) ->
+            Alcotest.(check string) "at the transport site" "transport.solve"
+              site))
+
+let test_transport_injected_raise () =
+  with_inject (fun () ->
+      Inject.arm Inject.Transport (Inject.Raise "boom");
+      match Transport.solve (transport_problem ()) with
+      | _ -> Alcotest.fail "armed raise must fire"
+      | exception Inject.Injected msg ->
+        Alcotest.(check string) "message" "boom" msg)
+
+let test_transport_corruption_unnoticed_without_sanitizer () =
+  with_inject (fun () ->
+      Sanitize.set_enabled false;
+      Inject.arm Inject.Transport Inject.Corrupt;
+      match Transport.solve (transport_problem ()) with
+      | Ok a ->
+        (* the corruption really happened: the audit fails after the fact *)
+        (match Transport.audit (transport_problem ()) a with
+        | Ok () -> Alcotest.fail "corrupted output must not audit clean"
+        | Error _ -> ())
+      | Error e -> Alcotest.fail e)
+
+(* ---------- legalize injection site ---------- *)
+
+let legalize_small () =
+  let d = Fbp_netlist.Generator.quick ~seed:13 ~name:"lg-inject" 200 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  let regions =
+    Fbp_movebound.Regions.decompose ~chip:d.Fbp_netlist.Design.chip
+      inst.Fbp_movebound.Instance.movebounds
+  in
+  let pos = Fbp_netlist.Placement.copy d.Fbp_netlist.Design.initial in
+  let n = Fbp_netlist.Netlist.n_cells d.Fbp_netlist.Design.netlist in
+  Fbp_legalize.Legalizer.run inst regions pos
+    ~piece_of_cell:(Array.make n (-1)) ~grid:None
+
+let test_legalize_injected_corruption_trips () =
+  with_sanitize (fun () ->
+      with_inject (fun () ->
+          Inject.arm Inject.Legalize Inject.Corrupt;
+          match legalize_small () with
+          | _ -> Alcotest.fail "corrupted legalization must trip the sanitizer"
+          | exception Err.Error (Err.Sanitizer_violation { site; invariant; _ })
+            ->
+            Alcotest.(check string) "at the legalize site" "legalize.run" site;
+            Alcotest.(check string) "containment invariant" "chip containment"
+              invariant))
+
+let test_legalize_injected_raise () =
+  with_inject (fun () ->
+      Inject.arm Inject.Legalize (Inject.Raise "legalize down");
+      match legalize_small () with
+      | _ -> Alcotest.fail "armed raise must fire"
+      | exception Inject.Injected msg ->
+        Alcotest.(check string) "message" "legalize down" msg)
+
+let test_legalize_clean_run_passes_sanitizer () =
+  with_sanitize (fun () ->
+      let before = Sanitize.checks_run () in
+      let st = legalize_small () in
+      Alcotest.(check int) "no failures" 0 st.Fbp_legalize.Legalizer.n_failed;
+      Alcotest.(check bool) "containment check ran" true
+        (Sanitize.checks_run () > before))
+
+(* ---------- run record on sanitizer-violation exits ---------- *)
+
+let test_record_written_on_sanitizer_violation () =
+  (* regression: a sanitizer violation raised from the post-placement
+     stages (legalization) must come back as a typed [Error] value from the
+     runner — not an exception unwinding past the CLI's record-writing exit
+     path — and the flight record must still be writable afterwards *)
+  with_sanitize (fun () ->
+      with_inject (fun () ->
+          let module Rec = Fbp_obs.Recorder in
+          Rec.reset ();
+          Rec.enable ();
+          Fun.protect ~finally:Rec.disable (fun () ->
+              Inject.arm Inject.Legalize Inject.Corrupt;
+              let inst = small_instance () in
+              (match Fbp_workloads.Runner.run_fbp inst with
+              | Ok _ -> Alcotest.fail "corruption must not yield metrics"
+              | Error (Err.Sanitizer_violation { site; _ }) ->
+                Alcotest.(check string) "legalize site" "legalize.run" site
+              | Error e -> Alcotest.fail ("wrong error: " ^ Err.to_string e));
+              let path = Filename.temp_file "fbp-record" ".json" in
+              Fun.protect
+                ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+                (fun () ->
+                  Rec.write_current path;
+                  match Rec.read_file path with
+                  | Ok r ->
+                    Alcotest.(check bool) "record has levels" true
+                      (List.length r.Rec.levels > 0)
+                  | Error msg ->
+                    Alcotest.fail ("record must read back: " ^ msg)))))
+
 let suite =
   [
     Alcotest.test_case "disabled check is free" `Quick test_check_disabled_is_free;
@@ -241,4 +347,18 @@ let suite =
       test_corruption_stops_even_graceful_mode;
     Alcotest.test_case "e2e: control without sanitizer" `Quick
       test_corruption_unnoticed_without_sanitizer;
+    Alcotest.test_case "transport: injected corruption trips" `Quick
+      test_transport_injected_corruption_trips;
+    Alcotest.test_case "transport: injected raise" `Quick
+      test_transport_injected_raise;
+    Alcotest.test_case "transport: control without sanitizer" `Quick
+      test_transport_corruption_unnoticed_without_sanitizer;
+    Alcotest.test_case "legalize: injected corruption trips" `Quick
+      test_legalize_injected_corruption_trips;
+    Alcotest.test_case "legalize: injected raise" `Quick
+      test_legalize_injected_raise;
+    Alcotest.test_case "legalize: clean run passes sanitizer" `Quick
+      test_legalize_clean_run_passes_sanitizer;
+    Alcotest.test_case "record written on sanitizer violation" `Quick
+      test_record_written_on_sanitizer_violation;
   ]
