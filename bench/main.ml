@@ -559,6 +559,16 @@ let emit_parallel_json () =
       in
       Ok (m.Fbp_workloads.Runner.hpwl, qp, real, m.Fbp_workloads.Runner.global_time)
   in
+  (* steady-state sweep: spawn the workers and run one discarded warmup
+     first, so per-domain entries no longer fold pool cold-start into
+     their timings (the PR5 sweep did — it spawned 7 workers inside the
+     timed entries) *)
+  (* steady-state sweep: pre-spawn the (hardware-clamped) workers and run
+     one discarded warmup so per-domain entries no longer fold pool
+     cold-start into their timings (the PR5 sweep did — it spawned its
+     workers inside the timed entries) *)
+  Fbp_util.Pool.prewarm 8;
+  ignore (run_scale 8);
   let base = run_scale 1 in
   let all_match = ref true in
   let scaling_rows =
@@ -618,6 +628,128 @@ let emit_parallel_json () =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* BENCH_pr7.json: the realization anti-scaling fix gate.  A 1/2/4/8-domain
+   sweep of the full placer on the design where PR5 regressed ("rabe"),
+   measured steady-state: workers pre-warmed, one discarded warmup run per
+   domain count, best-of-[reps] wall clocks.  Every entry must be bitwise
+   HPWL-identical to the 1-domain run, and on real multi-core hardware
+   8-domain realization_s/global_s must beat 1-domain (check.sh enforces
+   both; the time gate only when >= 4 CPUs are present).
+
+   FBP_BENCH_JSON7 overrides the output path; FBP_BENCH_SMOKE shrinks the
+   repetition count. *)
+let emit_realization_scaling_json () =
+  let path =
+    match Sys.getenv_opt "FBP_BENCH_JSON7" with
+    | Some p -> p
+    | None -> "BENCH_pr7.json"
+  in
+  let smoke = Sys.getenv_opt "FBP_BENCH_SMOKE" <> None in
+  let reps = if smoke then 5 else 7 in
+  let spec = Option.get (Fbp_workloads.Designs.find_spec "rabe") in
+  let inst =
+    Fbp_movebound.Instance.unconstrained
+      (Fbp_workloads.Designs.instantiate spec)
+  in
+  Fbp_util.Pool.prewarm 8;
+  let prev_domains = Fbp_util.Pool.get_default_domains () in
+  let d0_disp = Fbp_util.Pool.n_dispatches () in
+  let run_once domains =
+    Fbp_util.Pool.set_default_domains domains;
+    let r =
+      Fbp_workloads.Runner.run_fbp
+        ~config:{ Fbp_core.Config.default with domains }
+        inst
+    in
+    Fbp_util.Pool.set_default_domains prev_domains;
+    match r with
+    | Error e -> Error (Fbp_resilience.Fbp_error.to_string e)
+    | Ok m ->
+      let qp, real =
+        List.fold_left
+          (fun (q, rr) (l : Fbp_core.Placer.level_report) ->
+            ( q +. l.Fbp_core.Placer.qp_time,
+              rr +. l.Fbp_core.Placer.realization_time ))
+          (0.0, 0.0) m.Fbp_workloads.Runner.levels
+      in
+      Ok
+        ( m.Fbp_workloads.Runner.hpwl,
+          qp,
+          real,
+          m.Fbp_workloads.Runner.global_time )
+  in
+  let run_best domains =
+    match run_once domains with
+    | Error e -> Error e  (* warmup round, discarded on success *)
+    | Ok _ ->
+      let rec go i acc =
+        if i = 0 then acc
+        else
+          match (run_once domains, acc) with
+          | (Error _ as e), _ -> e
+          | Ok (h, q, r, g), Ok (_, _, _, gb) when g < gb ->
+            go (i - 1) (Ok (h, q, r, g))
+          | Ok _, acc -> go (i - 1) acc
+      in
+      (match run_once domains with
+      | Error e -> Error e
+      | Ok r0 -> go (reps - 1) (Ok r0))
+  in
+  let results = List.map (fun d -> (d, run_best d)) [ 1; 2; 4; 8 ] in
+  let result_for domains =
+    let _, r = List.find (fun (d, _) -> Int.equal d domains) results in
+    r
+  in
+  let base = result_for 1 in
+  let all_match = ref true in
+  let rows =
+    List.map
+      (fun (domains, r) ->
+        match (r, base) with
+        | Ok (h, qp, real, g), Ok (h1, _, _, _) ->
+          let m =
+            Int64.equal (Int64.bits_of_float h) (Int64.bits_of_float h1)
+          in
+          if not m then all_match := false;
+          Printf.sprintf
+            "    {\"domains\":%d,\"qp_s\":%.6f,\"realization_s\":%.6f,\
+             \"global_s\":%.6f,\"hpwl\":%.6e,\"hpwl_match\":%b}"
+            domains qp real g h m
+        | Error e, _ | _, Error e ->
+          all_match := false;
+          Printf.sprintf "    {\"domains\":%d,\"error\":%S}" domains e)
+      results
+  in
+  let speedup_real, speedup_global =
+    match (base, result_for 8) with
+    | Ok (_, _, r1, g1), Ok (_, _, r8, g8) ->
+      (r1 /. Float.max 1e-12 r8, g1 /. Float.max 1e-12 g8)
+    | _ -> (0.0, 0.0)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+     \"schema\":\"fbp-bench-pr7\",\n\
+     \"smoke\":%b,\n\
+     \"design\":\"rabe\",\n\
+     \"reps\":%d,\n\
+     \"hardware_domains\":%d,\n\
+     \"scaling\":[\n\
+     %s\n\
+     ],\n\
+     \"speedup_8\":{\"realization\":%.3f,\"global\":%.3f},\n\
+     \"pool\":{\"workers_spawned\":%d,\"dispatches\":%d},\n\
+     \"hpwl_match\":%b\n\
+     }\n"
+    smoke reps Fbp_util.Pool.hardware_domains
+    (String.concat ",\n" rows)
+    speedup_real speedup_global
+    (Fbp_util.Pool.n_workers_spawned ())
+    (Fbp_util.Pool.n_dispatches () - d0_disp)
+    !all_match;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* ----------------------------------------------------------------- main *)
 
 let () =
@@ -625,6 +757,7 @@ let () =
     emit_bench_json ();
     emit_sanitizer_json ();
     emit_parallel_json ();
+    emit_realization_scaling_json ();
     exit 0
   end;
   let t0 = Fbp_util.Timer.now () in
@@ -675,4 +808,5 @@ let () =
   emit_bench_json ();
   emit_sanitizer_json ();
   emit_parallel_json ();
+  emit_realization_scaling_json ();
   Printf.printf "\ntotal bench wall time: %s\n" (Fbp_util.Duration.pretty (Fbp_util.Timer.now () -. t0))

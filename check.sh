@@ -23,10 +23,11 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== bench smoke (BENCH_pr3.json + BENCH_pr4.json + BENCH_pr5.json)"
+echo "== bench smoke (BENCH_pr3.json + BENCH_pr4.json + BENCH_pr5.json + BENCH_pr7.json)"
 FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr3.json" \
   FBP_BENCH_JSON4="$tmp/BENCH_pr4.json" \
-  FBP_BENCH_JSON5="$tmp/BENCH_pr5.json" dune exec bench/main.exe >/dev/null
+  FBP_BENCH_JSON5="$tmp/BENCH_pr5.json" \
+  FBP_BENCH_JSON7="$tmp/BENCH_pr7.json" dune exec bench/main.exe >/dev/null
 for key in schema smoke designs phase_times counters histograms hpwl total_time; do
   grep -q "\"$key\"" "$tmp/BENCH_pr3.json" \
     || { echo "BENCH_pr3.json missing key: $key"; exit 1; }
@@ -54,6 +55,30 @@ done
 # aggregates them.  Any false fails the check.
 if grep -q '"hpwl_match":false' "$tmp/BENCH_pr5.json"; then
   echo "parallel placement diverged from the 1-domain result"; exit 1
+fi
+
+echo "== realization scaling gate (BENCH_pr7.json schema + no anti-scaling)"
+for key in schema smoke design reps hardware_domains scaling speedup_8 \
+           pool hpwl_match; do
+  grep -q "\"$key\"" "$tmp/BENCH_pr7.json" \
+    || { echo "BENCH_pr7.json missing key: $key"; exit 1; }
+done
+grep -q '"schema":"fbp-bench-pr7"' "$tmp/BENCH_pr7.json" \
+  || { echo "BENCH_pr7.json has wrong schema tag"; exit 1; }
+# every sweep entry must be bit-identical to the 1-domain run
+if grep -q '"hpwl_match":false' "$tmp/BENCH_pr7.json"; then
+  echo "realization sweep diverged from the 1-domain result"; exit 1
+fi
+# On a box with real parallelism, more domains must not make the placer
+# slower end to end (the PR 7 regression).  Single-core machines run the
+# whole sweep sequentially under the hardware clamp, so the timing
+# comparison is pure noise there — gate only when >= 4 CPUs are present.
+cpus="$(nproc 2>/dev/null || echo 1)"
+if [ "$cpus" -ge 4 ]; then
+  awk -F'"global_s":' '/"domains":1,/ { split($2, a, ","); g1 = a[1] + 0 }
+                       /"domains":8,/ { split($2, a, ","); g8 = a[1] + 0 }
+                       END { exit (g8 > g1) ? 1 : 0 }' "$tmp/BENCH_pr7.json" \
+    || { echo "8-domain run is slower than 1-domain (anti-scaling regressed)"; exit 1; }
 fi
 
 echo "== observability smoke (--trace / --metrics)"

@@ -299,7 +299,7 @@ let parallel_entries = [ "map_array"; "iter_array"; "init" ]
 (* Fbp_util.Pool entry points whose closures run on worker domains.  Every
    positional argument is a closure there ([fork2] takes two, [reduce]'s
    combiner also runs on workers). *)
-let pool_entries = [ "run_chunks"; "fork2"; "reduce" ]
+let pool_entries = [ "run_chunks"; "fork2"; "reduce"; "lease_run" ]
 
 let is_parallel_entry parts =
   match List.rev parts with
@@ -571,7 +571,7 @@ let domain_safety ~(add : adder) st =
           let works =
             match (entry, nolabel) with
             | "init", _ :: f :: _ -> [ f ]
-            | ("run_chunks" | "fork2" | "reduce"), fs -> fs
+            | ("run_chunks" | "fork2" | "reduce" | "lease_run"), fs -> fs
             | _, f :: _ -> [ f ]
             | _ -> []
           in

@@ -13,6 +13,11 @@ type t = {
       (** parallel domains for realization (1 = sequential).  The default
           follows {!Fbp_util.Pool.get_default_domains}, i.e. [FBP_DOMAINS]
           when set.  Results are bit-identical at any value. *)
+  hw_clamp : bool;
+      (** clamp [domains] to {!Fbp_util.Pool.hardware_domains} in hot
+          paths — domains beyond the core count only time-slice and add
+          wakeup latency.  Results are bit-identical either way; disable
+          to force parallel code paths on small machines (tests do). *)
   local_qp : bool;  (** run the local QP connectivity step in realization *)
   capacity_margin : float;
       (** flow capacities derated for legalizability; automatic fallback to

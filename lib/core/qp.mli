@@ -34,6 +34,13 @@ type scratch
 
 val create_scratch : unit -> scratch
 
+(** Deduplicated, sorted ids of every net incident to [cells].  Epoch-stamp
+    dedup over the scratch — no per-call allocation beyond the result
+    array.  Exposed for realization's per-node net collection. *)
+val dedup_nets :
+  scratch -> n_nets:int -> cell_nets:int list array -> cells:int array ->
+  int array
+
 (** Local QP over [cells] only, everything else fixed; [cell_nets] is the
     cached incidence map from {!Netlist.cell_nets}.  [scratch] reuses the
     net-dedup arrays across calls (one is allocated per call otherwise). *)

@@ -50,10 +50,52 @@ type result = {
 
 let eps = 1e-7
 
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> n
+    | _ -> default)
+
+(* Waves whose total cell count is below this run on the calling domain:
+   a handful of tiny transportation problems finishes before a worker
+   wakeup would even land.  Most realization waves are this small — the
+   per-wave fork/join on them is what made PR5 anti-scale. *)
+let seq_wave_cells = env_int "FBP_REAL_SEQ_CELLS" 512
+
+(* Target cells (not nodes) per parallel chunk.  Nodes are wildly
+   heterogeneous — one 300-cell node costs more than fifty 2-cell ones —
+   so chunking by node count (what [Parallel.map_array] did) starves some
+   domains and overloads others. *)
+let wave_grain_cells = env_int "FBP_REAL_GRAIN_CELLS" 128
+
+let max_wave_chunks = 64
+
+(* Compact snapshot of the given cells' positions.  O(cells of the wave),
+   replacing the seed's per-wave [Placement.copy pos] — O(design) per
+   wave was the dominant anti-scaling term, and it hurt at *every* domain
+   count. *)
+let snapshot (pos : Placement.t) (cells : int array) =
+  ( Array.map (fun c -> pos.Placement.x.(c)) cells,
+    Array.map (fun c -> pos.Placement.y.(c)) cells )
+
 (* A destination decided for one cell during a step. *)
 type dest =
   | To_piece of int
   | To_buffer of { to_w : int; x : float; y : float }
+
+(* Read-only inputs of one (window, class) node, gathered on the
+   coordinating domain between waves.  [nqx]/[nqy] seed the node's local
+   QP and are mutated in place by it — node-private by construction. *)
+type node_input = {
+  nw : int;
+  nm : int;
+  ncells : int array;  (* sorted member cell ids *)
+  nqx : float array;  (* compact pre-wave position snapshot *)
+  nqy : float array;
+  narcs : Fbp_model.external_flow list;  (* outgoing external arcs *)
+}
 
 let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
     (inst : Fbp_movebound.Instance.t) (regions : Fbp_movebound.Regions.t)
@@ -177,48 +219,47 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
       (c, proj.Point.x, proj.Point.y, To_piece pid, true)
     end
   in
+  let n_nets = Netlist.n_nets nl in
   (* Inputs of one node, snapshotted from the shared [members]/[outgoing]
      tables *before* the parallel map: worker domains must never touch the
      mutable tables (unsynchronized Hashtbl reads race with the commit
-     phase's writes between waves). *)
+     phase's writes between waves).  The position snapshot is compact —
+     only the node's own cells — because [pos] itself is not mutated
+     during a wave's map phase (commits happen post-join), so everything
+     a worker needs beyond its private QP seeds can be read from [pos]
+     directly. *)
   let node_input (w, m) =
     let cells =
       match Hashtbl.find_opt members (w, m) with
-      | Some r -> List.sort_uniq Int.compare !r
-      | None -> []
+      | Some r -> Array.of_list (List.sort_uniq Int.compare !r)
+      | None -> [||]
     in
     let transit_arcs =
       match Hashtbl.find_opt outgoing (w, m) with
       | None -> []
       | Some arcs -> !arcs
     in
-    ((w, m), cells, transit_arcs)
+    let nqx, nqy = snapshot pos cells in
+    { nw = w; nm = m; ncells = cells; nqx; nqy; narcs = transit_arcs }
   in
   (* process one node against read-only inputs; returns the moves plus the
      local-QP solver stats (recorded by the caller post-join in wave order,
-     so the metrics stream stays deterministic at any domain count) *)
-  let process_node snapshot ((w, m), cells, transit_arcs) =
-    if cells = [] then ((w, m), [||], None)
+     so the metrics stream stays deterministic at any domain count).
+     [scratch] is chunk-private (net-dedup stamp arrays). *)
+  let process_node ~scratch ni =
+    let w = ni.nw and m = ni.nm in
+    let cells = ni.ncells and transit_arcs = ni.narcs in
+    if Array.length cells = 0 then ((w, m), [||], None)
     else begin
-      let cells = Array.of_list cells in
       let qp_stats = ref None in
       (* 1. local QP for connectivity (optional) *)
-      let qx = Array.map (fun c -> snapshot.Placement.x.(c)) cells in
-      let qy = Array.map (fun c -> snapshot.Placement.y.(c)) cells in
+      let qx = ni.nqx and qy = ni.nqy in
       if cfg.Config.local_qp && Array.length cells > 1 then begin
-        let seen = Hashtbl.create 64 in
-        Array.iter
-          (fun c ->
-            List.iter
-              (fun ni -> if not (Hashtbl.mem seen ni) then Hashtbl.add seen ni ())
-              cell_nets.(c))
-          cells;
-        let nets = Array.of_seq (Hashtbl.to_seq_keys seen) in
-        Array.sort Int.compare nets;
+        let nets = Qp.dedup_nets scratch ~n_nets ~cell_nets ~cells in
         let win_rect = grid.Grid.windows.(w).Grid.rect in
         let ctr = Rect.center win_rect in
         let sys =
-          Netmodel.assemble nl snapshot ~movable:cells ~nets
+          Netmodel.assemble nl pos ~movable:cells ~nets
             ~clique_max_degree:cfg.Config.clique_max_degree
             ~anchor:(fun _ -> Some (1e-4, ctr.Point.x, 1e-4, ctr.Point.y))
             ()
@@ -228,8 +269,8 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
         Array.iteri
           (fun v c ->
             if c >= 0 then begin
-              xv.(v) <- snapshot.Placement.x.(c);
-              yv.(v) <- snapshot.Placement.y.(c)
+              xv.(v) <- pos.Placement.x.(c);
+              yv.(v) <- pos.Placement.y.(c)
             end)
           sys.Netmodel.cells;
         let st_x =
@@ -377,21 +418,95 @@ let realize ?(on_step : (step -> unit) option) (cfg : Config.t)
   in
   (* piece loads for the overfill audit *)
   let piece_load = Array.make (Grid.n_pieces grid) 0.0 in
+  (* Clamp to physical cores: beyond them, extra domains only time-slice
+     and add wakeup latency (results are domain-count-invariant anyway).
+     One resident lease serves every wave — workers park between waves
+     instead of paying a fork/join pair per wave. *)
+  let eff_domains =
+    if cfg.Config.hw_clamp then
+      min cfg.Config.domains Fbp_util.Pool.hardware_domains
+    else cfg.Config.domains
+  in
+  let lease =
+    if eff_domains > 1 then Some (Fbp_util.Pool.lease ~domains:eff_domains ())
+    else None
+  in
+  let helpers =
+    match lease with Some l -> Fbp_util.Pool.lease_helpers l | None -> 0
+  in
+  let d0 = Fbp_util.Pool.n_dispatches () in
+  (* Chunk-private net-dedup scratches, persistent across waves (slot [c]
+     is only ever touched by the owner of chunk [c - 1]; the lease's
+     completion latch orders cross-wave reuse).  Slot 0 backs the
+     sequential fast path. *)
+  let scratches = Array.make (max_wave_chunks + 1) None in
+  let scratch_for slot =
+    match scratches.(slot) with
+    | Some s -> s
+    | None ->
+      let s = Qp.create_scratch () in
+      scratches.(slot) <- Some s;
+      s
+  in
+  let run_wave wave_arr =
+    let n_nodes = Array.length wave_arr in
+    let total_cells =
+      Array.fold_left (fun acc ni -> acc + Array.length ni.ncells) 0 wave_arr
+    in
+    Fbp_obs.Obs.count ~n:total_cells "realization.snapshot_cells";
+    let out = Array.make n_nodes ((0, 0), [||], None) in
+    if helpers > 0 && n_nodes > 1 && total_cells >= seq_wave_cells then begin
+      let l = Option.get lease in
+      (* contiguous chunks balanced by cumulative cell count *)
+      let max_k = min max_wave_chunks (4 * (helpers + 1)) in
+      let target = max wave_grain_cells (1 + (total_cells / max_k)) in
+      let starts = Array.make (max_k + 1) n_nodes in
+      starts.(0) <- 0;
+      let k = ref 1 and acc = ref 0 in
+      for i = 0 to n_nodes - 1 do
+        acc := !acc + Array.length wave_arr.(i).ncells;
+        if !acc >= target && i < n_nodes - 1 && !k < max_k then begin
+          starts.(!k) <- i + 1;
+          incr k;
+          acc := 0
+        end
+      done;
+      Fbp_util.Pool.lease_run l ~n_chunks:!k (fun c ->
+          let scratch = scratch_for (c + 1) in
+          for i = starts.(c) to starts.(c + 1) - 1 do
+            out.(i) <- process_node ~scratch wave_arr.(i)
+          done)
+    end
+    else begin
+      (* sequential fast path: same map-all-then-commit shape as the
+         parallel path, so results are bitwise identical *)
+      let scratch = scratch_for 0 in
+      for i = 0 to n_nodes - 1 do
+        out.(i) <- process_node ~scratch wave_arr.(i)
+      done
+    end;
+    out
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match lease with
+      | Some l -> Fbp_util.Pool.release_lease l
+      | None -> ());
+      Fbp_obs.Obs.count
+        ~n:(Fbp_util.Pool.n_dispatches () - d0)
+        "pool.dispatches")
+  @@ fun () ->
   List.iteri
     (fun wi wave ->
       Fbp_obs.Obs.span "realization.wave"
         ~args:(fun () ->
           [ ("wave", string_of_int wi);
             ("nodes", string_of_int (List.length wave));
-            ("domains", string_of_int cfg.Config.domains) ])
+            ("domains", string_of_int eff_domains) ])
         (fun () ->
       Fbp_obs.Obs.observe "realization.wave_width" (float_of_int (List.length wave));
       let wave_arr = Array.of_list (List.map node_input wave) in
-      let snapshot = Placement.copy pos in
-      let results =
-        Fbp_util.Parallel.map_array ~domains:cfg.Config.domains
-          (process_node snapshot) wave_arr
-      in
+      let results = run_wave wave_arr in
       (* deterministic commit in wave order *)
       Array.iter
         (fun ((w, m), moves, qp_stats) ->

@@ -24,6 +24,12 @@ type result = {
   stats : stats;
 }
 
+(** [snapshot pos cells] is the compact per-wave position snapshot — the
+    x and y coordinates of exactly [cells], in order.  O(|cells|), not
+    O(design); exported for the wave-snapshot unit tests. *)
+val snapshot :
+  Fbp_netlist.Placement.t -> int array -> float array * float array
+
 (** Realize the flow, updating [pos] in place; [on_step] is the Figure-4
     trace hook.  [cell_nets] is the {!Fbp_netlist.Netlist.cell_nets}
     cache.  With [cfg.domains > 1] waves run in parallel with a

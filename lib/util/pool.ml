@@ -75,6 +75,22 @@ let resolve = function
   | Some d -> max 1 (min d (max_workers + 1))
   | None -> Atomic.get default_domains
 
+(* Domains the hardware can actually run at once.  Callers sizing
+   *throughput* parallelism (the realization lease) clamp to this: extra
+   domains beyond the core count only time-slice one core and add wakeup
+   latency — the PR7 anti-scaling root.  Correctness never depends on it
+   (the determinism contract holds at any domain count). *)
+let hardware_domains = max 1 (Domain.recommended_domain_count ())
+
+(* Worker handoffs since process start: one per [dispatch] (a job handed to
+   a parked worker) plus one per [lease_run] submission (a whole batch
+   enters the lease's helpers as a single event).  Exposed so callers can
+   assert dispatch amortization — e.g. realization records the per-call
+   delta as the [pool.dispatches] counter. *)
+let dispatches = Atomic.make 0
+
+let n_dispatches () = Atomic.get dispatches
+
 (* Workers loop forever: jobs are exception-safe wrappers built by
    [run_chunks]/[fork2], so nothing can escape into the loop.  A worker
    parked in [Condition.wait] does not keep the process alive: the runtime
@@ -131,6 +147,7 @@ let release ws =
   Mutex.unlock state.lock
 
 let dispatch w job =
+  Atomic.incr dispatches;
   Mutex.lock w.mutex;
   w.job <- Some job;
   Condition.signal w.cond;
@@ -147,6 +164,11 @@ let region_wait r =
   while r.pending > 0 do
     Condition.wait r.rcond r.rmutex
   done;
+  Mutex.unlock r.rmutex
+
+let region_reset r n =
+  Mutex.lock r.rmutex;
+  r.pending <- n;
   Mutex.unlock r.rmutex
 
 (* ------------------------------------------------ deterministic chunking *)
@@ -210,6 +232,154 @@ let run_chunks ?domains ~n_chunks:k body =
       end
     end
   end
+
+(* ------------------------------------------------------ reusable leases *)
+
+(* A lease holds acquired workers across many consecutive parallel regions
+   (realization waves), so a region costs one submission instead of a
+   per-wave acquire / dispatch-each-worker / release cycle.  Helpers run a
+   resident loop: after draining a submission they spin briefly on the
+   epoch atomic (consecutive waves are usually microseconds apart, so the
+   next batch lands while they are still hot), then park on a condition
+   variable.  Submissions are strictly serialized by the completion latch
+   — the owner cannot submit epoch N+1 until every helper finished epoch N
+   — so helpers can never miss a batch.  Error semantics are identical to
+   [run_chunks]: every chunk runs, the first failure in chunk order is
+   re-raised, and the lease stays usable afterwards. *)
+type lease = {
+  lhelpers : worker list;
+  n_helpers : int;
+  lmutex : Mutex.t;  (* parks helpers between submissions *)
+  lcond : Condition.t;
+  lepoch : int Atomic.t;  (* bumped once per submission (and once to stop) *)
+  lstop : bool Atomic.t;
+  lcursor : int Atomic.t;
+  llatch : region;
+  (* submission slots: written by the owner strictly between submissions
+     (all helpers idle), published by the [lepoch] bump *)
+  mutable lk : int;
+  mutable lbody : int -> unit;
+  mutable lerrs : (exn * Printexc.raw_backtrace) option array;
+}
+
+(* ~1–2 µs of [cpu_relax] before parking; waves inside one realization call
+   are typically closer together than a futex wakeup costs. *)
+let lease_spin_budget = 4096
+
+let lease_drain (l : lease) =
+  let k = l.lk and body = l.lbody and errs = l.lerrs in
+  let rec go () =
+    let c = Atomic.fetch_and_add l.lcursor 1 in
+    if c < k then begin
+      (try body c
+       with e -> errs.(c) <- Some (e, Printexc.get_raw_backtrace ()));
+      go ()
+    end
+  in
+  go ()
+
+let lease_helper (l : lease) =
+  let rec await seen spin =
+    if Atomic.get l.lepoch = seen then
+      if spin > 0 then begin
+        Domain.cpu_relax ();
+        await seen (spin - 1)
+      end
+      else begin
+        Mutex.lock l.lmutex;
+        while Atomic.get l.lepoch = seen do
+          Condition.wait l.lcond l.lmutex
+        done;
+        Mutex.unlock l.lmutex
+      end
+  in
+  let rec go seen =
+    await seen lease_spin_budget;
+    let e = Atomic.get l.lepoch in
+    if Atomic.get l.lstop then region_done l.llatch
+    else begin
+      lease_drain l;
+      region_done l.llatch;
+      go e
+    end
+  in
+  go 0
+
+let lease ?domains () =
+  let d = resolve domains in
+  let helpers = acquire (d - 1) in
+  let l =
+    {
+      lhelpers = helpers;
+      n_helpers = List.length helpers;
+      lmutex = Mutex.create ();
+      lcond = Condition.create ();
+      lepoch = Atomic.make 0;
+      lstop = Atomic.make false;
+      lcursor = Atomic.make 0;
+      llatch =
+        { rmutex = Mutex.create (); rcond = Condition.create (); pending = 0 };
+      lk = 0;
+      lbody = ignore;
+      lerrs = [||];
+    }
+  in
+  List.iter (fun w -> dispatch w (fun () -> lease_helper l)) helpers;
+  l
+
+let lease_helpers l = l.n_helpers
+
+let lease_submit (l : lease) =
+  Mutex.lock l.lmutex;
+  Atomic.incr l.lepoch;
+  Condition.broadcast l.lcond;
+  Mutex.unlock l.lmutex
+
+let lease_run (l : lease) ~n_chunks:k body =
+  if k > 0 then begin
+    if Atomic.get l.lstop then
+      invalid_arg "Pool.lease_run: lease was already released"
+    else if l.n_helpers = 0 || k = 1 then
+      for c = 0 to k - 1 do
+        body c
+      done
+    else begin
+      l.lk <- k;
+      l.lbody <- body;
+      l.lerrs <- Array.make k None;
+      Atomic.set l.lcursor 0;
+      region_reset l.llatch l.n_helpers;
+      Atomic.incr dispatches;
+      lease_submit l;
+      lease_drain l;
+      region_wait l.llatch;
+      let errs = l.lerrs in
+      l.lbody <- ignore;
+      l.lerrs <- [||];
+      check_errors errs
+    end
+  end
+
+let release_lease (l : lease) =
+  if not (Atomic.get l.lstop) then begin
+    if l.n_helpers > 0 then begin
+      region_reset l.llatch l.n_helpers;
+      Atomic.set l.lstop true;
+      lease_submit l;
+      region_wait l.llatch;
+      release l.lhelpers
+    end
+    else Atomic.set l.lstop true
+  end
+
+(* Spawn (and immediately park) the helper workers that [n]-domain regions
+   clamped to the hardware will actually use, so domain-spawn cost never
+   lands inside a timed or latency-sensitive path.  Deliberately capped at
+   [hardware_domains - 1]: on OCaml 5 every live domain — parked or not —
+   joins each minor-GC stop-the-world rendezvous, so surplus domains tax
+   *sequential* code on small machines (measured ~4x on one core with 7
+   parked workers). *)
+let prewarm n = release (acquire (min (min n hardware_domains) max_workers - 1))
 
 let fork2 ?domains f g =
   if resolve domains < 2 then

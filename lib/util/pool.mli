@@ -53,5 +53,57 @@ val reduce :
   ('a -> 'a -> 'a) ->
   'a option
 
+(** Domains the hardware can actually run at once
+    ([Domain.recommended_domain_count], at least 1).  Callers sizing
+    throughput parallelism should clamp to this: domains beyond the core
+    count only time-slice and add wakeup latency.  Correctness never
+    depends on it — the determinism contract holds at any domain count. *)
+val hardware_domains : int
+
+(** {1 Reusable leases}
+
+    A lease holds acquired workers across many consecutive parallel
+    regions (e.g. realization waves): helpers stay resident — spinning
+    briefly, then parked — between {!lease_run} calls, so each region
+    costs one batch submission instead of a per-region
+    acquire/dispatch/release cycle per worker. *)
+
+type lease
+
+(** [lease ~domains ()] acquires up to [domains - 1] free workers as
+    resident helpers.  Acquisition never blocks: with no free workers the
+    lease has zero helpers and every {!lease_run} executes sequentially.
+    Must be paired with {!release_lease}. *)
+val lease : ?domains:int -> unit -> lease
+
+(** Number of helper workers held by the lease (0 on an exhausted pool). *)
+val lease_helpers : lease -> int
+
+(** [lease_run l ~n_chunks body] executes [body c] for every chunk [c] in
+    [0, n_chunks) across the lease's helpers plus the calling domain.
+    Same contract as {!run_chunks}: [body] writes only chunk-private
+    state; every chunk runs even under exceptions and the first failure
+    in chunk order is re-raised, leaving the lease reusable.  Raises
+    [Invalid_argument] after {!release_lease}. *)
+val lease_run : lease -> n_chunks:int -> (int -> unit) -> unit
+
+(** Stops the helpers and returns them to the pool's free list.
+    Idempotent. *)
+val release_lease : lease -> unit
+
+(** [prewarm n] eagerly spawns (and parks) the workers that [n]-domain
+    regions clamped to {!hardware_domains} will actually use, so
+    domain-spawn cost never lands inside a timed or latency-sensitive
+    path.  Never spawns beyond the core count: every live domain joins
+    each minor-GC stop-the-world rendezvous, so surplus parked domains
+    measurably tax sequential code on small machines. *)
+val prewarm : int -> unit
+
 (** Number of worker domains spawned so far (for tests/metrics). *)
 val n_workers_spawned : unit -> int
+
+(** Worker handoffs since process start: one per parked-worker job
+    dispatch plus one per {!lease_run} batch submission.  Callers can
+    record deltas to assert dispatch amortization (e.g. realization's
+    [pool.dispatches] counter). *)
+val n_dispatches : unit -> int

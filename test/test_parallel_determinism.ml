@@ -180,6 +180,141 @@ let test_pool_exceptions_and_reuse () =
       Alcotest.(check bool) "workers were actually spawned" true
         (Pool.n_workers_spawned () >= 1))
 
+(* ---------- lease: reuse across submissions + error semantics ---------- *)
+
+let test_lease_reuse_and_errors () =
+  with_domains 4 (fun () ->
+      let l = Pool.lease ~domains:4 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.release_lease l)
+        (fun () ->
+          let n = 10_000 in
+          let slots = Array.make n 0 in
+          (* five consecutive rounds reuse the same parked helpers: each
+             batch costs one submission, not one dispatch per worker *)
+          for round = 1 to 5 do
+            let d0 = Pool.n_dispatches () in
+            Pool.lease_run l ~n_chunks:8 (fun c ->
+                let lo, hi = Pool.chunk_bounds ~n ~n_chunks:8 c in
+                for i = lo to hi - 1 do
+                  slots.(i) <- slots.(i) + round
+                done);
+            Alcotest.(check bool)
+              (Printf.sprintf "round %d costs at most one dispatch" round)
+              true
+              (Pool.n_dispatches () - d0 <= 1)
+          done;
+          Alcotest.(check bool) "all slots saw all five rounds" true
+            (Array.for_all (fun v -> v = 15) slots);
+          (* first failure in chunk order wins under dynamic scheduling *)
+          (match
+             Pool.lease_run l ~n_chunks:8 (fun c ->
+                 if c = 3 || c = 6 then raise (Boom c))
+           with
+          | () -> Alcotest.fail "expected Boom"
+          | exception Boom c -> Alcotest.(check int) "first chunk error" 3 c);
+          (* the lease stays usable after a failed batch *)
+          let hits = Atomic.make 0 in
+          Pool.lease_run l ~n_chunks:4 (fun _ -> Atomic.incr hits);
+          Alcotest.(check int) "lease reusable after exception" 4
+            (Atomic.get hits));
+      (* released: further batches are refused, double release is a no-op,
+         and the helpers are back on the pool's free list *)
+      (match Pool.lease_run l ~n_chunks:2 (fun _ -> ()) with
+      | () -> Alcotest.fail "expected Invalid_argument after release"
+      | exception Invalid_argument _ -> ());
+      Pool.release_lease l;
+      let a = Array.init 100 (fun i -> i) in
+      let doubled = Parallel.map_array ~domains:4 (fun v -> 2 * v) a in
+      Alcotest.(check bool) "pool healthy after release" true
+        (Array.for_all2 (fun v w -> w = 2 * v) a doubled))
+
+(* ---------- realization: compact wave snapshot ---------- *)
+
+let test_snapshot_compact () =
+  let d = Generator.quick ~seed:41 ~name:"snap" 50 in
+  let pos = Placement.copy d.Design.initial in
+  let cells = [| 3; 7; 11; 42 |] in
+  let xs, ys = Realization.snapshot pos cells in
+  Alcotest.(check int) "snapshot is O(cells)" 4 (Array.length xs);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int64) "x bits" (bits pos.Placement.x.(c)) (bits xs.(i));
+      Alcotest.(check int64) "y bits" (bits pos.Placement.y.(c)) (bits ys.(i)))
+    cells;
+  (* a later snapshot sees commits from earlier waves (shipped cells) *)
+  pos.Placement.x.(7) <- 123.5;
+  pos.Placement.y.(7) <- -2.25;
+  let xs2, ys2 = Realization.snapshot pos cells in
+  Alcotest.(check int64) "sees shipped-cell x" (bits 123.5) (bits xs2.(1));
+  Alcotest.(check int64) "sees shipped-cell y" (bits (-2.25)) (bits ys2.(1));
+  (* the snapshot is a copy: mutating it never writes through *)
+  xs2.(0) <- 999.0;
+  Alcotest.(check int64) "snapshot does not alias the placement"
+    (bits pos.Placement.x.(3)) (bits xs.(0))
+
+(* ---------- realization: bitwise at 1 vs 8 domains + cost counters ----- *)
+
+let test_realization_counters_and_bitwise () =
+  let d = Generator.quick ~seed:61 ~name:"rc" 600 in
+  let inst = Fbp_movebound.Instance.unconstrained d in
+  let design = inst.Fbp_movebound.Instance.design in
+  let nl = design.Design.netlist in
+  let regions =
+    Fbp_movebound.Regions.decompose ~chip:design.Design.chip
+      inst.Fbp_movebound.Instance.movebounds
+  in
+  let density = Density.create design in
+  let grid =
+    Grid.create ~chip:design.Design.chip ~nx:4 ~ny:4 ~regions ~density ()
+  in
+  let model = Fbp_model.build inst regions grid design.Design.initial in
+  let sol = Fbp_model.solve model in
+  let cell_nets = Netlist.cell_nets nl in
+  (* hw_clamp off so the lease path actually runs on small CI machines *)
+  let run domains =
+    with_domains domains (fun () ->
+        let pos = Placement.copy design.Design.initial in
+        Fbp_obs.Obs.enable ();
+        Fbp_obs.Obs.reset ();
+        let stepped = ref 0 in
+        let r =
+          Realization.realize
+            ~on_step:(fun s -> stepped := !stepped + s.Realization.n_cells)
+            { Config.default with domains; hw_clamp = false }
+            inst regions sol pos ~cell_nets
+        in
+        let snap = Fbp_obs.Obs.counter_value "realization.snapshot_cells" in
+        let disp = Fbp_obs.Obs.counter_value "pool.dispatches" in
+        Fbp_obs.Obs.disable ();
+        (pos, r, !stepped, snap, disp))
+  in
+  let p1, r1, s1, snap1, _ = run 1 in
+  let p8, r8, s8, snap8, disp8 = run 8 in
+  Alcotest.(check (array (float 0.0)))
+    "x bit-identical" p1.Placement.x p8.Placement.x;
+  Alcotest.(check (array (float 0.0)))
+    "y bit-identical" p1.Placement.y p8.Placement.y;
+  Alcotest.(check (array int)) "piece assignment identical"
+    r1.Realization.piece_of_cell r8.Realization.piece_of_cell;
+  Alcotest.(check int) "on_step streams equal" s1 s8;
+  Alcotest.(check bool) "flow shipped cells" true
+    (r1.Realization.stats.Realization.n_shipped_cells > 0);
+  (* snapshot cost is O(wave): exactly the wave member cells (= the cells
+     the steps commit), domain-count-invariant, and far below the seed's
+     full-copy cost of n_waves * n_cells *)
+  Alcotest.(check int) "snapshot_cells = committed step cells" s1 snap1;
+  Alcotest.(check int) "snapshot_cells domain-invariant" snap1 snap8;
+  Alcotest.(check bool) "snapshot cheaper than per-wave full copies" true
+    (snap1 < r1.Realization.stats.Realization.n_waves * Netlist.n_cells nl);
+  (* dispatch is O(1) per wave: at most one batch submission per wave plus
+     the one-off helper handoffs when the lease is created *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dispatches amortized (%d for %d waves)" disp8
+       r8.Realization.stats.Realization.n_waves)
+    true
+    (disp8 <= 8 + r8.Realization.stats.Realization.n_waves)
+
 (* ---------- e2e: placer bit-identical at any domain count ---------- *)
 
 let test_placer_bitwise_and_records () =
@@ -228,6 +363,11 @@ let suite =
       test_refreeze_rejects_changed_topology;
     Alcotest.test_case "pool exceptions + reuse" `Quick
       test_pool_exceptions_and_reuse;
+    Alcotest.test_case "lease reuse + errors" `Quick
+      test_lease_reuse_and_errors;
+    Alcotest.test_case "compact wave snapshot" `Quick test_snapshot_compact;
+    Alcotest.test_case "realization counters + bitwise" `Slow
+      test_realization_counters_and_bitwise;
     Alcotest.test_case "placer bitwise + run records" `Slow
       test_placer_bitwise_and_records;
   ]
