@@ -160,9 +160,20 @@ let place_cmd =
       Rec.reset ();
       Rec.enable ()
     end;
+    (* FBP_PROFILE=1 arms the domain profiler alongside whatever other
+       exporters are on; its summary lands in the run record's [profile]
+       section and its GC pauses in the trace's per-domain tracks *)
+    let profile_armed = Sys.getenv_opt "FBP_PROFILE" = Some "1" in
+    if profile_armed then Fbp_obs.Profiler.start ();
     (* export whatever was recorded on every exit path, including typed
        failures — a trace of a failed run is the one you want most *)
     let finish code =
+      (* stop first: the final drain injects gc.* intervals into the trace
+         and the summary must be attached before the record is written *)
+      if profile_armed then begin
+        let s = Fbp_obs.Profiler.stop () in
+        if Rec.enabled () then Rec.set_profile s
+      end;
       (match trace with
        | Some f -> Obs.write_trace f; Printf.printf "wrote %s\n" f
        | None -> ());
@@ -199,6 +210,7 @@ let place_cmd =
             @ (match deadline with
                | Some dl -> [ ("deadline", Printf.sprintf "%g" dl) ]
                | None -> []);
+          host = None;  (* filled by Runner once the pool resolves *)
         };
       let result =
         (* belt and braces: nothing may bypass [finish] — an exception
@@ -245,6 +257,82 @@ let place_cmd =
     Term.(const run $ input $ tool $ movebounds $ domains $ svg $ deadline $ strict
           $ sanitize $ trace $ metrics $ record)
 
+(* ------------------------------------------------------------- profile *)
+
+let profile_cmd =
+  let input = Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN") in
+  let movebounds =
+    Arg.(value & opt int 0 & info [ "movebounds" ] ~doc:"Attach N movebounds first.")
+  in
+  let domains =
+    (* default 4 and no hardware clamp: the point of profiling is to see
+       the helper domains, even on a small container *)
+    Arg.(value & opt int 4 & info [ "domains"; "j" ] ~doc:"Parallel domains.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ]
+           ~doc:"Write the machine-readable profile summary to $(docv)."
+           ~docv:"FILE")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+           ~doc:"Write a Chrome trace with per-domain gc.* pause tracks to \
+                 $(docv)." ~docv:"FILE")
+  in
+  let run input movebounds domains json trace =
+    let module Obs = Fbp_obs.Obs in
+    let module Prof = Fbp_obs.Profiler in
+    Obs.reset ();
+    Obs.enable ();
+    Prof.start ();
+    match read_design input with
+    | Error e ->
+      ignore (Prof.stop ());
+      fail_typed e
+    | Ok d ->
+      let inst = instance_of d ~movebounds in
+      let config =
+        { Fbp_core.Config.default with domains; hw_clamp = false }
+      in
+      let result =
+        try Fbp_workloads.Runner.run_fbp ~config inst
+        with e -> Error (Err.of_exn ~site:"cli.profile" e)
+      in
+      let s = Prof.stop () in
+      (match trace with
+       | Some f -> Obs.write_trace f; Printf.printf "wrote %s\n" f
+       | None -> ());
+      Obs.disable ();
+      (match json with
+       | Some f ->
+         let oc = open_out f in
+         output_string oc (Obs.Json.to_string (Prof.summary_json s));
+         output_string oc "\n";
+         close_out oc;
+         Printf.printf "wrote %s\n" f
+       | None -> ());
+      (match result with
+       | Error e -> fail_typed e
+       | Ok m ->
+         print_string (Prof.render s);
+         Printf.printf
+           "\n%s: HPWL %.6e  time %.2fs (global %.2fs + legalize %.2fs)\n"
+           m.Fbp_workloads.Runner.tool m.Fbp_workloads.Runner.hpwl
+           m.Fbp_workloads.Runner.total_time m.Fbp_workloads.Runner.global_time
+           m.Fbp_workloads.Runner.legalize_time;
+         0)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Place a design with the domain-level runtime profiler armed \
+             and print the per-domain utilization / GC pause table.  The \
+             profiler merges OCaml runtime events (minor/major GC, \
+             stop-the-world rendezvous) with pool worker occupancy; the \
+             placement result is bit-identical to an unprofiled run.")
+    Term.(const run $ input $ movebounds $ domains $ json $ trace)
+
 (* --------------------------------------------------------- trace-check *)
 
 let trace_check_cmd =
@@ -271,13 +359,34 @@ let report_cmd =
     Arg.(value & opt string "report.html"
          & info [ "o"; "output" ] ~doc:"HTML output file." ~docv:"FILE")
   in
-  let run input out =
+  let trajectory =
+    Arg.(value & opt (some string) None
+         & info [ "trajectory" ]
+           ~doc:"Fold a BENCH_trajectory.json (written by $(b,bench \
+                 trajectory)) into the report as a per-PR performance \
+                 sparkline section." ~docv:"FILE")
+  in
+  let run input out trajectory =
+    let read_trajectory path =
+      let ic = open_in_bin path in
+      let doc =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Fbp_obs.Obs.Json.parse doc with
+      | Ok j -> Some j
+      | Error msg ->
+        Printf.eprintf "warning: cannot parse trajectory %s: %s\n" path msg;
+        None
+    in
     match Fbp_obs.Recorder.read_file input with
     | Error msg ->
       Printf.eprintf "cannot read run record %s: %s\n" input msg;
       Err.exit_code (Err.Parse_error { file = input; line = 0; msg })
     | Ok rec_ ->
-      let html = Fbp_viz.Report.render rec_ in
+      let trajectory = Option.bind trajectory read_trajectory in
+      let html = Fbp_viz.Report.render ?trajectory rec_ in
       let oc = open_out_bin out in
       output_string oc html;
       close_out oc;
@@ -290,8 +399,8 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Render a flight-recorder run record as a self-contained HTML \
              report (convergence curve, phase times, density heatmap, \
-             metric tables).")
-    Term.(const run $ input $ out)
+             domain utilization, metric tables).")
+    Term.(const run $ input $ out $ trajectory)
 
 (* -------------------------------------------------------- diff-record *)
 
@@ -308,7 +417,13 @@ let diff_record_cmd =
          & info [ "max-time-regress" ]
            ~doc:"Maximum tolerated relative total-time increase.")
   in
-  let run base cand max_hpwl max_time =
+  let max_gc =
+    Arg.(value & opt (some float) None
+         & info [ "max-gc-regress" ]
+           ~doc:"Maximum tolerated relative GC/STW pause-time increase \
+                 (profiled records only; 10ms absolute floor).")
+  in
+  let run base cand max_hpwl max_time max_gc =
     let read path =
       match Fbp_obs.Recorder.read_file path with
       | Ok r -> Ok r
@@ -320,8 +435,9 @@ let diff_record_cmd =
     | Error c, _ | _, Error c -> c
     | Ok b, Ok c ->
       let cmp =
-        Fbp_obs.Recorder.diff ~max_hpwl_regress:max_hpwl
-          ~max_time_regress:max_time ~base:b ~cand:c
+        Fbp_obs.Recorder.diff ?max_gc_regress:max_gc
+          ~max_hpwl_regress:max_hpwl ~max_time_regress:max_time ~base:b
+          ~cand:c ()
       in
       List.iter print_endline cmp.Fbp_obs.Recorder.lines;
       if cmp.Fbp_obs.Recorder.regressions = [] then begin
@@ -337,9 +453,9 @@ let diff_record_cmd =
   Cmd.v
     (Cmd.info "diff-record"
        ~doc:"Compare two run records and exit non-zero if the candidate \
-             regresses HPWL, wall time, legality, or movebound violations \
-             beyond the thresholds.")
-    Term.(const run $ base $ cand $ max_hpwl $ max_time)
+             regresses HPWL, wall time, legality, movebound violations, or \
+             (with --max-gc-regress) GC pause time beyond the thresholds.")
+    Term.(const run $ base $ cand $ max_hpwl $ max_time $ max_gc)
 
 (* ------------------------------------------------------- metrics-check *)
 
@@ -490,5 +606,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; check_cmd; place_cmd; fuzz_cmd; report_cmd;
-            diff_record_cmd; metrics_check_cmd; tables_cmd; trace_check_cmd ]))
+          [ generate_cmd; check_cmd; place_cmd; profile_cmd; fuzz_cmd;
+            report_cmd; diff_record_cmd; metrics_check_cmd; tables_cmd;
+            trace_check_cmd ]))

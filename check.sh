@@ -23,11 +23,12 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== bench smoke (BENCH_pr3.json + BENCH_pr4.json + BENCH_pr5.json + BENCH_pr7.json)"
+echo "== bench smoke (BENCH_pr3.json + BENCH_pr4.json + BENCH_pr5.json + BENCH_pr7.json + BENCH_pr8.json)"
 FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr3.json" \
   FBP_BENCH_JSON4="$tmp/BENCH_pr4.json" \
   FBP_BENCH_JSON5="$tmp/BENCH_pr5.json" \
-  FBP_BENCH_JSON7="$tmp/BENCH_pr7.json" dune exec bench/main.exe >/dev/null
+  FBP_BENCH_JSON7="$tmp/BENCH_pr7.json" \
+  FBP_BENCH_JSON8="$tmp/BENCH_pr8.json" dune exec bench/main.exe >/dev/null
 for key in schema smoke designs phase_times counters histograms hpwl total_time; do
   grep -q "\"$key\"" "$tmp/BENCH_pr3.json" \
     || { echo "BENCH_pr3.json missing key: $key"; exit 1; }
@@ -81,6 +82,31 @@ if [ "$cpus" -ge 4 ]; then
     || { echo "8-domain run is slower than 1-domain (anti-scaling regressed)"; exit 1; }
 fi
 
+echo "== profiler gate (BENCH_pr8.json schema + observer properties)"
+for key in schema smoke design off_time on_time overhead_pct \
+           disabled_probe_ns available stw_count sum_consistency hpwl_match; do
+  grep -q "\"$key\"" "$tmp/BENCH_pr8.json" \
+    || { echo "BENCH_pr8.json missing key: $key"; exit 1; }
+done
+grep -q '"schema":"fbp-bench-pr8"' "$tmp/BENCH_pr8.json" \
+  || { echo "BENCH_pr8.json has wrong schema tag"; exit 1; }
+# the profiler is an observer: the armed run must be bit-identical
+if grep -q '"hpwl_match":false' "$tmp/BENCH_pr8.json"; then
+  echo "profiled placement diverged from the unprofiled result"; exit 1
+fi
+# per domain, busy + spin + park + stw must account for the wall clock
+if grep -q '"sum_consistency":false' "$tmp/BENCH_pr8.json"; then
+  echo "profiler occupancy does not sum to wall clock"; exit 1
+fi
+# the committed artifact records the confirmed costs: the disabled probe
+# (what every level boundary pays in production) stays in low ns, and the
+# armed tax stays under 15% (the runtime's own GC event emission dominates
+# it on a contended 1-core container; the disabled path is the <5% claim)
+awk -F'"disabled_probe_ns":' '/disabled_probe_ns/ { split($2, a, ","); if (a[1] + 0 >= 50.0) exit 1 }' \
+  BENCH_pr8.json || { echo "committed BENCH_pr8.json records >= 50ns disabled probe"; exit 1; }
+awk -F'"overhead_pct":' '/overhead_pct/ { split($2, a, ","); if (a[1] + 0 >= 15.0) exit 1 }' \
+  BENCH_pr8.json || { echo "committed BENCH_pr8.json records >= 15% armed overhead"; exit 1; }
+
 echo "== observability smoke (--trace / --metrics)"
 fbp="dune exec bin/fbp_place.exe --"
 $fbp generate --cells 1500 --seed 7 -o "$tmp/smoke.book" >/dev/null
@@ -127,6 +153,53 @@ $fbp place "$tmp/worse.book" --movebounds 2 --record "$tmp/worse.json" >/dev/nul
 if $fbp diff-record "$tmp/run.json" "$tmp/worse.json" >/dev/null 2>&1; then
   echo "diff-record failed to flag a regressed run"; exit 1
 fi
+
+echo "== profile smoke (fbp_place profile + FBP_PROFILE record + trajectory)"
+# the profile subcommand must emit a valid trace, a schema-tagged JSON
+# summary, and never fail the run even when runtime events are unavailable
+$fbp profile "$tmp/smoke.book" --movebounds 2 --domains 4 \
+  --json "$tmp/profile.json" --trace "$tmp/ptrace.json" >/dev/null \
+  || { echo "fbp_place profile failed"; exit 1; }
+$fbp trace-check "$tmp/ptrace.json" >/dev/null \
+  || { echo "profile trace failed validation"; exit 1; }
+for key in schema available wall_us stw_count minor_us major_us domains \
+           phases top_pauses; do
+  grep -q "\"$key\"" "$tmp/profile.json" \
+    || { echo "profile.json missing key: $key"; exit 1; }
+done
+grep -q '"schema":"fbp-profile"' "$tmp/profile.json" \
+  || { echo "profile.json has wrong schema tag"; exit 1; }
+# the degraded path (no runtime events) must still produce a summary
+FBP_PROFILE_FORCE_UNAVAILABLE=1 $fbp profile "$tmp/smoke.book" --movebounds 2 \
+  --json "$tmp/profile-na.json" >/dev/null \
+  || { echo "profile with runtime events unavailable failed"; exit 1; }
+grep -q '"available":false' "$tmp/profile-na.json" \
+  || { echo "forced-unavailable profile claims availability"; exit 1; }
+# FBP_PROFILE=1 folds the summary into the run record; the report renders
+# the domain lane and GC pause sections from it
+FBP_PROFILE=1 $fbp place "$tmp/smoke.book" --movebounds 2 \
+  --record "$tmp/prun.json" >/dev/null
+grep -q '"profile"' "$tmp/prun.json" \
+  || { echo "FBP_PROFILE=1 record has no profile section"; exit 1; }
+grep -q '"host"' "$tmp/prun.json" \
+  || { echo "record provenance has no host section"; exit 1; }
+$fbp report "$tmp/prun.json" -o "$tmp/preport.html" >/dev/null
+for marker in domain-timeline gc-pauses; do
+  grep -q "$marker" "$tmp/preport.html" \
+    || { echo "profiled report missing marker: $marker"; exit 1; }
+done
+# a profiled record must self-diff clean under the GC gate too
+$fbp diff-record "$tmp/prun.json" "$tmp/prun.json" --max-gc-regress 0.5 >/dev/null \
+  || { echo "diff-record with GC gate regressed against itself"; exit 1; }
+# bench trajectory folds the committed BENCH artifacts into one trend file
+FBP_BENCH_JSONT="$tmp/BENCH_trajectory.json" dune exec bench/main.exe -- trajectory >/dev/null \
+  || { echo "bench trajectory failed"; exit 1; }
+grep -q '"schema":"fbp-bench-trajectory"' "$tmp/BENCH_trajectory.json" \
+  || { echo "BENCH_trajectory.json has wrong schema tag"; exit 1; }
+$fbp report "$tmp/prun.json" --trajectory "$tmp/BENCH_trajectory.json" \
+  -o "$tmp/treport.html" >/dev/null
+grep -q "perf-trajectory" "$tmp/treport.html" \
+  || { echo "trajectory report missing marker: perf-trajectory"; exit 1; }
 
 echo "== fuzz smoke (seed-pinned campaign, twice: zero failures + same digest)"
 # FBP_FUZZ_SMOKE=1 clamps the campaign to 50 scenarios under a hard

@@ -24,6 +24,9 @@ let catalogue =
        Fbp_resilience.Fbp_error" );
     ( "io-discipline",
       "stdout printing in lib/; output belongs to the CLI, bench, or Fbp_obs" );
+    ( "obs-discipline",
+      "raw Obs.span_begin/span_end outside lib/obs; use Obs.span (scoped, \
+       exception-safe) or Obs.record_interval" );
     ("lint-directive", "malformed or unused suppression comment");
   ]
 
@@ -231,7 +234,18 @@ let check_ident ~sc ~(add : adder) ~loc parts =
           ~hint:
             "raise a typed error: Fbp_resilience.Fbp_error.raise_error \
              (Invalid_input ...) / (Internal ...)"
-          "bare failwith in lib/"
+          "bare failwith in lib/";
+    (* obs-discipline: raw begin/end span markers outside lib/obs — they
+       unbalance the trace on any exception path; Obs.span is scoped *)
+    (match List.rev parts with
+    | (("span_begin" | "span_end") as fn) :: "Obs" :: _
+      when not (path_has_dir sc "obs") ->
+      add ~rule:"obs-discipline" ~loc
+        ~hint:
+          "use Obs.span (scoped and exception-safe) or, for measured \
+           intervals, Obs.record_interval"
+        (Printf.sprintf "raw Obs.%s outside lib/obs" fn)
+    | _ -> ())
   end
 
 (* Rules that need the application's arguments. *)
@@ -298,8 +312,10 @@ let parallel_entries = [ "map_array"; "iter_array"; "init" ]
 
 (* Fbp_util.Pool entry points whose closures run on worker domains.  Every
    positional argument is a closure there ([fork2] takes two, [reduce]'s
-   combiner also runs on workers). *)
-let pool_entries = [ "run_chunks"; "fork2"; "reduce"; "lease_run" ]
+   combiner also runs on workers; [set_profile_hook]'s callback fires on
+   every worker's scheduling transitions). *)
+let pool_entries =
+  [ "run_chunks"; "fork2"; "reduce"; "lease_run"; "set_profile_hook" ]
 
 let is_parallel_entry parts =
   match List.rev parts with
@@ -571,7 +587,10 @@ let domain_safety ~(add : adder) st =
           let works =
             match (entry, nolabel) with
             | "init", _ :: f :: _ -> [ f ]
-            | ("run_chunks" | "fork2" | "reduce" | "lease_run"), fs -> fs
+            | ( ( "run_chunks" | "fork2" | "reduce" | "lease_run"
+                | "set_profile_hook" ),
+                fs ) ->
+              fs
             | _, f :: _ -> [ f ]
             | _ -> []
           in

@@ -299,6 +299,7 @@ let place ?(config = Config.default) ?on_level ?fallback
                  strict mode. *)
               let qp_stats, qp_time =
                 Fbp_util.Timer.time (fun () ->
+                    Fbp_obs.Profiler.with_phase "qp" @@ fun () ->
                     Fbp_obs.Obs.span "place.qp"
                       ~args:(fun () -> [ ("level", string_of_int level) ])
                       (fun () ->
@@ -355,6 +356,7 @@ let place ?(config = Config.default) ?on_level ?fallback
               in
               let (grid, model, sol), flow_time =
                 Fbp_util.Timer.time (fun () ->
+                    Fbp_obs.Profiler.with_phase "flow" @@ fun () ->
                     Fbp_obs.Obs.span "place.flow"
                       ~args:(fun () -> [ ("level", string_of_int level) ])
                       (fun () ->
@@ -394,6 +396,7 @@ let place ?(config = Config.default) ?on_level ?fallback
               | Fbp_flow.Mcf.Feasible { cost = mcf_cost } ->
                 let r, realization_time =
                   Fbp_util.Timer.time (fun () ->
+                      Fbp_obs.Profiler.with_phase "realization" @@ fun () ->
                       Fbp_obs.Obs.span "place.realization"
                         ~args:(fun () -> [ ("level", string_of_int level) ])
                         (fun () ->
@@ -429,6 +432,9 @@ let place ?(config = Config.default) ?on_level ?fallback
                    flight-recorder snapshot when [--record] armed it (the
                    density/legality audits only run in that case) *)
                 Fbp_obs.Obs.sample_gc ();
+                (* drain the runtime-events ring at each level so overflow
+                   stays bounded and trace injection is incremental *)
+                Fbp_obs.Profiler.poll ();
                 if Fbp_obs.Recorder.enabled () then begin
                   let module R = Fbp_obs.Recorder in
                   R.record_level

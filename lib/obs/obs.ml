@@ -67,6 +67,37 @@ let span ?args name f =
     Fun.protect ~finally:(fun () -> record name 'E' []) f
   end
 
+(* The trace clock, exposed so the profiler can timestamp pool-occupancy
+   samples and translate Runtime_events timestamps onto the same axis.
+   Reads [epoch] without the lock: it only moves on [reset], and a racing
+   read merely lands on one side of the reset — same as [record]. *)
+let now_us () = (Fbp_util.Timer.now () -. !epoch) *. 1e6
+
+(* Unpaired span halves.  [span] is the discipline (balance by
+   construction); these exist for callers whose begin/end sites cannot
+   share a scope.  fbp-lint's [obs-discipline] rule flags any use outside
+   [lib/obs] so every escape hatch is visibly justified. *)
+let span_begin ?args name =
+  if enabled () then record name 'B' (match args with None -> [] | Some a -> a ())
+
+let span_end name = if enabled () then record name 'E' []
+
+(* A closed interval injected after the fact (the profiler's GC pauses,
+   which are only known once the runtime-events ring is drained).  The
+   begin/end pair is appended adjacently under the lock, so the trace
+   validator's per-tid LIFO balance holds by construction no matter how
+   the interval interleaves in time with live spans. *)
+let record_interval ~name ~tid ~ts_us ~dur_us args =
+  if enabled () then
+    with_lock (fun () ->
+        if !event_count + 2 <= max_events then begin
+          events :=
+            { name; ph = 'E'; ts = ts_us +. dur_us; tid; args = [] }
+            :: { name; ph = 'B'; ts = ts_us; tid; args }
+            :: !events;
+          event_count := !event_count + 2
+        end)
+
 let count ?(n = 1) name =
   if enabled () then
     with_lock (fun () ->

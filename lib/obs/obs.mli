@@ -35,6 +35,30 @@ val reset : unit -> unit
     Spans nest; balance is guaranteed by construction. *)
 val span : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
 
+(** Microseconds on the trace clock (the axis of every span timestamp);
+    restarts at {!reset}.  Meaningful whether or not recording is
+    enabled. *)
+val now_us : unit -> float
+
+(** Unpaired span halves for callers whose begin and end sites cannot share
+    a scope.  {!span} is the discipline — fbp-lint's [obs-discipline] rule
+    flags any use of these outside [lib/obs]. *)
+val span_begin : ?args:(unit -> (string * string) list) -> string -> unit
+
+val span_end : string -> unit
+
+(** [record_interval ~name ~tid ~ts_us ~dur_us args] appends a closed
+    [B]/[E] pair for an interval measured elsewhere (the profiler's GC
+    pauses).  The two events are adjacent in the stream, so trace balance
+    is preserved by construction. *)
+val record_interval :
+  name:string ->
+  tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  (string * string) list ->
+  unit
+
 (** [count name] adds [n] (default 1) to the counter [name]. *)
 val count : ?n:int -> string -> unit
 

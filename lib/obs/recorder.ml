@@ -58,6 +58,16 @@ type density_map = {
   capacity : float array;
 }
 
+(* Execution environment: artifacts measured on a 1-core container under
+   the hardware clamp must be distinguishable from real multi-core runs,
+   or BENCH/profile numbers get compared across incomparable machines. *)
+type host = {
+  hw_clamp : bool;  (* Config.hw_clamp for this run *)
+  hardware_domains : int;  (* Pool.hardware_domains on this machine *)
+  eff_domains : int;  (* configured domain count after resolution *)
+  peak_rss_kb : int option;  (* VmHWM; None off Linux *)
+}
+
 type provenance = {
   design : string;
   cells : int;
@@ -66,6 +76,7 @@ type provenance = {
   seed : int option;
   tool : string;
   config : (string * string) list;
+  host : host option;
 }
 
 type totals = {
@@ -85,6 +96,7 @@ type t = {
   density : density_map option;
   totals : totals option;
   metrics : Obs.Json.t option;
+  profile : Profiler.summary option;
 }
 
 let schema_name = "fbp-run-record"
@@ -92,7 +104,7 @@ let schema_version = 1
 
 let no_provenance =
   { design = ""; cells = 0; nets = 0; movebounds = 0; seed = None; tool = "";
-    config = [] }
+    config = []; host = None }
 
 (* ------------------------------------------- process-global recorder *)
 
@@ -109,6 +121,7 @@ let legalization_r : legalization option ref = ref None
 let density_r : density_map option ref = ref None
 let totals_r : totals option ref = ref None
 let metrics_r : Obs.Json.t option ref = ref None
+let profile_r : Profiler.summary option ref = ref None
 (* quick_stat's minor_words is only refreshed at GC events on OCaml 5;
    Gc.minor_words reads the live allocation pointer, so the mark carries
    both *)
@@ -132,9 +145,14 @@ let reset () =
       density_r := None;
       totals_r := None;
       metrics_r := None;
+      profile_r := None;
       gc_mark := Some (gc_now ()))
 
 let set_provenance p = if enabled () then with_lock (fun () -> provenance_r := p)
+
+let set_host h =
+  if enabled () then
+    with_lock (fun () -> provenance_r := { !provenance_r with host = Some h })
 
 let zero_gc =
   { minor_words = 0.0; major_words = 0.0; major_collections = 0;
@@ -165,6 +183,7 @@ let record_legalization l =
 let set_density d = if enabled () then with_lock (fun () -> density_r := Some d)
 let set_totals t = if enabled () then with_lock (fun () -> totals_r := Some t)
 let set_metrics m = if enabled () then with_lock (fun () -> metrics_r := Some m)
+let set_profile p = if enabled () then with_lock (fun () -> profile_r := Some p)
 
 let current () =
   with_lock (fun () ->
@@ -176,6 +195,7 @@ let current () =
         density = !density_r;
         totals = !totals_r;
         metrics = !metrics_r;
+        profile = !profile_r;
       })
 
 (* ------------------------------------------------------- serialization *)
@@ -245,6 +265,15 @@ let density_to_json (d : density_map) =
       ("capacity", J.Arr (Array.to_list (Array.map jnum d.capacity)));
     ]
 
+let host_to_json (h : host) =
+  J.Obj
+    [
+      ("hw_clamp", J.Bool h.hw_clamp);
+      ("hardware_domains", jint h.hardware_domains);
+      ("eff_domains", jint h.eff_domains);
+      ("peak_rss_kb", jopt jint h.peak_rss_kb);
+    ]
+
 let provenance_to_json (p : provenance) =
   J.Obj
     [
@@ -255,6 +284,7 @@ let provenance_to_json (p : provenance) =
       ("seed", jopt jint p.seed);
       ("tool", J.Str p.tool);
       ("config", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) p.config));
+      ("host", jopt host_to_json p.host);
     ]
 
 let totals_to_json (t : totals) =
@@ -280,6 +310,7 @@ let to_json (t : t) =
          ("density", jopt density_to_json t.density);
          ("totals", jopt totals_to_json t.totals);
          ("metrics", jopt Fun.id t.metrics);
+         ("profile", jopt Profiler.summary_json t.profile);
        ])
   ^ "\n"
 
@@ -371,6 +402,16 @@ let density_of_json o =
   then dfail "density bin arrays do not match nx*ny"
   else d
 
+let host_of_json o =
+  {
+    hw_clamp = bool_ "hw_clamp" o;
+    hardware_domains = int_ "hardware_domains" o;
+    eff_domains = int_ "eff_domains" o;
+    peak_rss_kb =
+      opt "peak_rss_kb" o
+        (function J.Num f -> int_of_float f | _ -> dfail "bad peak_rss_kb");
+  }
+
 let provenance_of_json o =
   {
     design = str "design" o;
@@ -387,6 +428,7 @@ let provenance_of_json o =
              match v with J.Str s -> (k, s) | _ -> dfail "config value for %S" k)
            kvs
        | _ -> dfail "\"config\" is not an object");
+    host = opt "host" o host_of_json;
   }
 
 let totals_of_json o =
@@ -424,6 +466,11 @@ let of_json doc =
            density = opt "density" root density_of_json;
            totals = opt "totals" root totals_of_json;
            metrics = opt "metrics" root Fun.id;
+           profile =
+             opt "profile" root (fun v ->
+                 match Profiler.summary_of_json v with
+                 | Ok s -> s
+                 | Error e -> dfail "%s" e);
          }
      with Decode msg -> Error msg)
 
@@ -487,7 +534,20 @@ let violations_of (t : t) =
   | Some tt -> Some tt.violations
   | None -> (match t.legalization with Some l -> Some l.leg_mb_violations | None -> None)
 
-let diff ~max_hpwl_regress ~max_time_regress ~(base : t) ~(cand : t) =
+(* GC-pause footprint: summed merged STW time across domains.  Only
+   defined when the run carried a profile section; diff gates on it only
+   when both sides have one, so old records stay comparable. *)
+let gc_pause_us (t : t) =
+  match t.profile with
+  | None -> None
+  | Some s ->
+    Some
+      (List.fold_left
+         (fun acc (d : Profiler.domain_summary) -> acc +. d.Profiler.d_stw_us)
+         0.0 s.Profiler.s_domains)
+
+let diff ?max_gc_regress ~max_hpwl_regress ~max_time_regress ~(base : t)
+    ~(cand : t) () =
   let regressions = ref [] and lines = ref [] in
   let line fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
   let regress metric base_value cand_value limit =
@@ -506,6 +566,16 @@ let diff ~max_hpwl_regress ~max_time_regress ~(base : t) ~(cand : t) =
   in
   ratio_gate "hpwl" max_hpwl_regress (final_hpwl base) (final_hpwl cand);
   ratio_gate "total_time" max_time_regress (total_time_of base) (total_time_of cand);
+  (match (max_gc_regress, gc_pause_us base, gc_pause_us cand) with
+   | Some limit, Some b, Some c ->
+     line "%-14s %14.6e -> %14.6e  (%+.2f%%, limit %+.1f%% + 10ms floor)"
+       "gc_pause_us" b c (pct b c) (100.0 *. limit);
+     (* 10ms absolute floor: tiny runs jitter by whole pauses *)
+     if c > (b *. (1.0 +. limit)) +. 10_000.0 then
+       regress "gc_pause_us" b c (Printf.sprintf "+%.1f%%" (100.0 *. limit))
+   | Some _, _, _ ->
+     line "%-14s (profile absent from one side; not gated)" "gc_pause_us"
+   | None, _, _ -> ());
   (match (violations_of base, violations_of cand) with
    | Some b, Some c ->
      line "%-14s %14d -> %14d  (limit: no increase)" "violations" b c;

@@ -73,6 +73,17 @@ type density_map = {
   capacity : float array;
 }
 
+(** Execution environment the run was measured on.  Artifacts produced
+    under the hardware clamp on a 1-core container are not comparable to
+    real multi-core runs; recording the clamp and domain counts makes the
+    distinction machine-checkable. *)
+type host = {
+  hw_clamp : bool;  (** [Config.hw_clamp] for this run *)
+  hardware_domains : int;  (** [Pool.hardware_domains] on this machine *)
+  eff_domains : int;  (** configured domain count after resolution *)
+  peak_rss_kb : int option;  (** [VmHWM]; [None] off Linux *)
+}
+
 type provenance = {
   design : string;
   cells : int;
@@ -81,6 +92,7 @@ type provenance = {
   seed : int option;
   tool : string;
   config : (string * string) list;  (** free-form key/value, emission order *)
+  host : host option;
 }
 
 type totals = {
@@ -100,6 +112,7 @@ type t = {
   density : density_map option;
   totals : totals option;
   metrics : Obs.Json.t option;  (** the {!Obs.metrics_json} object *)
+  profile : Profiler.summary option;  (** domain-level runtime profile *)
 }
 
 val schema_version : int
@@ -116,6 +129,11 @@ val reset : unit -> unit
 
 val set_provenance : provenance -> unit
 
+(** Attach the execution environment to the current provenance (keeps the
+    rest of the provenance intact — callers set it late, after the pool
+    has resolved its domain count). *)
+val set_host : host -> unit
+
 (** [Gc.quick_stat] delta since the previous boundary (or since
     {!reset}/{!enable} for the first); advances the boundary mark.  Returns
     zeros when disabled. *)
@@ -126,6 +144,10 @@ val record_legalization : legalization -> unit
 val set_density : density_map -> unit
 val set_totals : totals -> unit
 val set_metrics : Obs.Json.t -> unit
+
+(** Attach the run's {!Profiler.summary} (serialized into the record's
+    [profile] section). *)
+val set_profile : Profiler.summary -> unit
 
 (** Snapshot of everything recorded so far. *)
 val current : unit -> t
@@ -165,7 +187,10 @@ type comparison = {
 (** Compare candidate against baseline.  Gates: final HPWL ratio above
     [1 + max_hpwl_regress]; total wall time ratio above
     [1 + max_time_regress]; any new movebound violations; a legal baseline
-    turning illegal.  Improvements never regress. *)
+    turning illegal.  With [?max_gc_regress], additionally gates summed
+    per-domain GC/STW pause time (ratio plus a 10ms absolute floor) when
+    both records carry a [profile] section.  Improvements never regress. *)
 val diff :
+  ?max_gc_regress:float ->
   max_hpwl_regress:float -> max_time_regress:float -> base:t -> cand:t ->
-  comparison
+  unit -> comparison

@@ -91,15 +91,54 @@ let dispatches = Atomic.make 0
 
 let n_dispatches () = Atomic.get dispatches
 
+(* -------------------------------------------------------- profiling hook *)
+
+(* Occupancy telemetry for the profiler: every scheduling transition a
+   worker makes (parked / spinning / running, per-chunk start/stop, lease
+   batch submission) is pushed through one optional hook.  The disabled
+   path is a single [Atomic.get] per transition — the same budget as an
+   [Obs] probe — and transitions happen per wave / per chunk, never per
+   element, so an armed hook stays out of the kernels' way too. *)
+
+type profile_kind =
+  | Pe_park_begin  (* worker blocks on its condition variable *)
+  | Pe_park_end
+  | Pe_spin_begin  (* lease helper spinning on the epoch atomic *)
+  | Pe_spin_end
+  | Pe_run_begin  (* a dispatched job / lease batch starts executing *)
+  | Pe_run_end
+  | Pe_chunk_begin of int  (* chunk index within the current region *)
+  | Pe_chunk_end of int
+  | Pe_submit of int  (* lease batch submitted; payload is the new epoch *)
+
+type profile_event = {
+  pe_wid : int;  (* worker id; -1 is the calling (owner) domain *)
+  pe_domain : int;  (* [Domain.self] of the emitting domain *)
+  pe_kind : profile_kind;
+}
+
+let profile_hook : (profile_event -> unit) option Atomic.t = Atomic.make None
+let set_profile_hook f = Atomic.set profile_hook (Some f)
+let clear_profile_hook () = Atomic.set profile_hook None
+
+let[@inline] emit pe_wid pe_kind =
+  match Atomic.get profile_hook with
+  | None -> ()
+  | Some f -> f { pe_wid; pe_domain = (Domain.self () :> int); pe_kind }
+
 (* Workers loop forever: jobs are exception-safe wrappers built by
    [run_chunks]/[fork2], so nothing can escape into the loop.  A worker
    parked in [Condition.wait] does not keep the process alive: the runtime
    exits with the main domain. *)
 let rec worker_loop (w : worker) =
   Mutex.lock w.mutex;
-  while w.job = None do
-    Condition.wait w.cond w.mutex
-  done;
+  if w.job = None then begin
+    emit w.wid Pe_park_begin;
+    while w.job = None do
+      Condition.wait w.cond w.mutex
+    done;
+    emit w.wid Pe_park_end
+  end;
   let job = w.job in
   w.job <- None;
   Mutex.unlock w.mutex;
@@ -207,12 +246,14 @@ let run_chunks ?domains ~n_chunks:k body =
       else begin
         let errs = Array.make k None in
         let next = Atomic.make 0 in
-        let rec drain () =
+        let rec drain wid =
           let c = Atomic.fetch_and_add next 1 in
           if c < k then begin
+            emit wid (Pe_chunk_begin c);
             (try body c
              with e -> errs.(c) <- Some (e, Printexc.get_raw_backtrace ()));
-            drain ()
+            emit wid (Pe_chunk_end c);
+            drain wid
           end
         in
         let r =
@@ -222,10 +263,12 @@ let run_chunks ?domains ~n_chunks:k body =
         List.iter
           (fun w ->
             dispatch w (fun () ->
-                drain ();
+                emit w.wid Pe_run_begin;
+                drain w.wid;
+                emit w.wid Pe_run_end;
                 region_done r))
           helpers;
-        drain ();
+        drain (-1);
         region_wait r;
         release helpers;
         check_errors errs
@@ -266,39 +309,51 @@ type lease = {
    are typically closer together than a futex wakeup costs. *)
 let lease_spin_budget = 4096
 
-let lease_drain (l : lease) =
+let lease_drain ?(wid = -1) (l : lease) =
   let k = l.lk and body = l.lbody and errs = l.lerrs in
   let rec go () =
     let c = Atomic.fetch_and_add l.lcursor 1 in
     if c < k then begin
+      emit wid (Pe_chunk_begin c);
       (try body c
        with e -> errs.(c) <- Some (e, Printexc.get_raw_backtrace ()));
+      emit wid (Pe_chunk_end c);
       go ()
     end
   in
   go ()
 
-let lease_helper (l : lease) =
-  let rec await seen spin =
-    if Atomic.get l.lepoch = seen then
-      if spin > 0 then begin
-        Domain.cpu_relax ();
-        await seen (spin - 1)
-      end
-      else begin
+let lease_helper (l : lease) wid =
+  let rec spin_wait seen spin =
+    if Atomic.get l.lepoch = seen && spin > 0 then begin
+      Domain.cpu_relax ();
+      spin_wait seen (spin - 1)
+    end
+  in
+  let await seen =
+    if Atomic.get l.lepoch = seen then begin
+      emit wid Pe_spin_begin;
+      spin_wait seen lease_spin_budget;
+      emit wid Pe_spin_end;
+      if Atomic.get l.lepoch = seen then begin
+        emit wid Pe_park_begin;
         Mutex.lock l.lmutex;
         while Atomic.get l.lepoch = seen do
           Condition.wait l.lcond l.lmutex
         done;
-        Mutex.unlock l.lmutex
+        Mutex.unlock l.lmutex;
+        emit wid Pe_park_end
       end
+    end
   in
   let rec go seen =
-    await seen lease_spin_budget;
+    await seen;
     let e = Atomic.get l.lepoch in
     if Atomic.get l.lstop then region_done l.llatch
     else begin
-      lease_drain l;
+      emit wid Pe_run_begin;
+      lease_drain ~wid l;
+      emit wid Pe_run_end;
       region_done l.llatch;
       go e
     end
@@ -324,7 +379,7 @@ let lease ?domains () =
       lerrs = [||];
     }
   in
-  List.iter (fun w -> dispatch w (fun () -> lease_helper l)) helpers;
+  List.iter (fun w -> dispatch w (fun () -> lease_helper l w.wid)) helpers;
   l
 
 let lease_helpers l = l.n_helpers
@@ -350,8 +405,11 @@ let lease_run (l : lease) ~n_chunks:k body =
       Atomic.set l.lcursor 0;
       region_reset l.llatch l.n_helpers;
       Atomic.incr dispatches;
+      emit (-1) (Pe_submit (Atomic.get l.lepoch + 1));
       lease_submit l;
+      emit (-1) Pe_run_begin;
       lease_drain l;
+      emit (-1) Pe_run_end;
       region_wait l.llatch;
       let errs = l.lerrs in
       l.lbody <- ignore;
@@ -399,8 +457,10 @@ let fork2 ?domains f g =
         { rmutex = Mutex.create (); rcond = Condition.create (); pending = 1 }
       in
       dispatch w (fun () ->
+          emit w.wid Pe_run_begin;
           (try res_g := Some (g ())
            with e -> err_g := Some (e, Printexc.get_raw_backtrace ()));
+          emit w.wid Pe_run_end;
           region_done r);
       let res_f =
         try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())

@@ -102,6 +102,40 @@ val prewarm : int -> unit
 (** Number of worker domains spawned so far (for tests/metrics). *)
 val n_workers_spawned : unit -> int
 
+(** {1 Profiling hook}
+
+    Occupancy telemetry for [Fbp_obs.Profiler]: every worker scheduling
+    transition (parked / spinning / running a batch, per-chunk start and
+    stop, lease submission) is pushed through one optional process-global
+    hook.  Disabled cost is a single [Atomic.get] per transition, and
+    transitions happen per wave / per chunk — never per element. *)
+
+type profile_kind =
+  | Pe_park_begin  (** worker blocks on its condition variable *)
+  | Pe_park_end
+  | Pe_spin_begin  (** lease helper spinning on the epoch atomic *)
+  | Pe_spin_end
+  | Pe_run_begin  (** a dispatched job / lease batch starts executing *)
+  | Pe_run_end
+  | Pe_chunk_begin of int  (** chunk index within the current region *)
+  | Pe_chunk_end of int
+  | Pe_submit of int  (** lease batch submitted; payload is the new epoch *)
+
+type profile_event = {
+  pe_wid : int;  (** worker id; [-1] is the calling (owner) domain *)
+  pe_domain : int;  (** [Domain.self] of the emitting domain *)
+  pe_kind : profile_kind;
+}
+
+(** Install the hook.  The callback runs on worker domains (sometimes while
+    holding a worker's own mutex), so it must be fast, never raise, and
+    touch shared state only through a lock or atomics — fbp-lint's
+    [domain-safety] rule walks closures passed here like any other pool
+    entry point. *)
+val set_profile_hook : (profile_event -> unit) -> unit
+
+val clear_profile_hook : unit -> unit
+
 (** Worker handoffs since process start: one per parked-worker job
     dispatch plus one per {!lease_run} batch submission.  Callers can
     record deltas to assert dispatch amortization (e.g. realization's

@@ -1,0 +1,33 @@
+(* Peak resident set size, read from /proc/self/status (VmHWM).  Linux
+   only by design: the profiler and run-record provenance treat it as an
+   optional gauge, and [None] on other platforms is the honest answer. *)
+
+let parse_vmhwm line =
+  let prefix = "VmHWM:" in
+  let np = String.length prefix in
+  if String.length line > np && String.sub line 0 np = prefix then begin
+    let rest = String.sub line np (String.length line - np) in
+    (* the field reads "VmHWM:   12345 kB" *)
+    let num =
+      match String.index_opt rest 'k' with
+      | Some i -> String.sub rest 0 i
+      | None -> rest
+    in
+    int_of_string_opt (String.trim num)
+  end
+  else None
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line -> (
+            match parse_vmhwm line with Some kb -> Some kb | None -> go ())
+        in
+        go ())

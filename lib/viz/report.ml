@@ -219,6 +219,190 @@ let heatmap_svg (d : R.density_map) =
      gray = blocked.</p>";
   Buffer.contents b
 
+(* Per-domain utilization lane from the profiler summary: one stacked
+   horizontal bar per domain, busy / spin / park in categorical hues and
+   GC/STW in the reserved status red (doubled by tooltip text). *)
+let domain_svg (s : Fbp_obs.Profiler.summary) =
+  let module P = Fbp_obs.Profiler in
+  if s.P.s_domains = [] then
+    "<p class=\"muted\">no domain samples captured</p>"
+  else begin
+    let roww = 560.0 and rowh = 20.0 and gap = 8.0 and ml = 64.0 in
+    let n = List.length s.P.s_domains in
+    let h = (float_of_int n *. (rowh +. gap)) +. 28.0 in
+    let w = ml +. roww +. 110.0 in
+    let b = Buffer.create 4096 in
+    Printf.bprintf b
+      "<svg id=\"domain-timeline\" viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" \
+       height=\"%.0f\" role=\"img\" aria-label=\"per-domain utilization\">"
+      w h w h;
+    let role (d : P.domain_summary) =
+      if d.P.d_wid = -1 then "main"
+      else if d.P.d_wid = -2 then Printf.sprintf "d%d" d.P.d_tid
+      else Printf.sprintf "w%d" d.P.d_wid
+    in
+    List.iteri
+      (fun i (d : P.domain_summary) ->
+        let ry = 4.0 +. (float_of_int i *. (rowh +. gap)) in
+        Printf.bprintf b
+          "<text x=\"%.1f\" y=\"%.1f\" class=\"tick\" text-anchor=\"end\">%s</text>"
+          (ml -. 8.0) (ry +. (rowh /. 2.0) +. 3.5) (escape_html (role d));
+        let wall = Float.max d.P.d_wall_us 1e-9 in
+        let xr = ref ml in
+        List.iter
+          (fun (label, us, color) ->
+            let sw = Float.max 0.0 ((roww *. us /. wall) -. 2.0) in
+            if sw > 0.2 then begin
+              Printf.bprintf b
+                "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+                 rx=\"3\" fill=\"%s\"><title>%s %s: %.1fms (%.1f%%)</title></rect>"
+                !xr ry sw rowh color (escape_html (role d)) label (us /. 1e3)
+                (100.0 *. us /. wall);
+              xr := !xr +. sw +. 2.0
+            end)
+          [ ("busy", d.P.d_busy_us, "var(--series-1)");
+            ("spin", d.P.d_spin_us, "var(--series-4)");
+            ("park", d.P.d_park_us, "var(--surface-2)");
+            ("gc/stw", d.P.d_stw_us, overflow_red) ];
+        Printf.bprintf b
+          "<text x=\"%.1f\" y=\"%.1f\" class=\"label\">%.0f%% busy</text>"
+          (ml +. roww +. 8.0)
+          (ry +. (rowh /. 2.0) +. 3.5)
+          (100.0 *. d.P.d_busy_us /. wall))
+      s.P.s_domains;
+    Buffer.add_string b "</svg>";
+    Buffer.add_string b
+      (Printf.sprintf
+         "<div class=\"legend\">\
+          <span><i style=\"background:var(--series-1)\"></i>busy</span>\
+          <span><i style=\"background:var(--series-4)\"></i>spin</span>\
+          <span><i style=\"background:var(--surface-2)\"></i>parked</span>\
+          <span><i style=\"background:%s\"></i>GC / stop-the-world</span>\
+          </div>"
+         overflow_red);
+    Buffer.contents b
+  end
+
+(* GC pause breakdown: phase attribution plus the longest merged pauses. *)
+let gc_pauses_html (s : Fbp_obs.Profiler.summary) =
+  let module P = Fbp_obs.Profiler in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "<div id=\"gc-pauses\">";
+  Printf.bprintf b
+    "<p class=\"muted\">%d stop-the-world rendezvous &#183; minor %.1fms \
+     &#183; major %.1fms &#183; %d runtime events%s%s</p>"
+    s.P.s_stw_count (s.P.s_minor_us /. 1e3) (s.P.s_major_us /. 1e3)
+    s.P.s_events
+    (if s.P.s_lost > 0 then Printf.sprintf " &#183; %d LOST" s.P.s_lost else "")
+    (if s.P.s_available then ""
+     else " &#183; runtime events unavailable (pool occupancy only)");
+  if s.P.s_phases <> [] then begin
+    Buffer.add_string b
+      "<table class=\"metrics\"><thead><tr><th>phase</th><th>wall</th>\
+       <th>GC pause</th><th>pauses</th><th>GC %</th></tr></thead><tbody>";
+    List.iter
+      (fun (ph : P.phase_summary) ->
+        Printf.bprintf b
+          "<tr><td>%s</td><td>%.1fms</td><td>%.1fms</td><td>%d</td>\
+           <td>%.2f%%</td></tr>"
+          (escape_html ph.P.ph_name)
+          (ph.P.ph_wall_us /. 1e3)
+          (ph.P.ph_gc_us /. 1e3)
+          ph.P.ph_gc_n
+          (if ph.P.ph_wall_us > 0.0 then
+             100.0 *. ph.P.ph_gc_us /. ph.P.ph_wall_us
+           else 0.0))
+      s.P.s_phases;
+    Buffer.add_string b "</tbody></table>"
+  end;
+  if s.P.s_top_pauses <> [] then begin
+    Buffer.add_string b "<h3>Longest pauses</h3><ul class=\"muted\">";
+    List.iter
+      (fun (p : P.pause) ->
+        Printf.bprintf b "<li>domain %d: %s, %.2fms at t=%.1fms</li>" p.P.p_tid
+          (escape_html p.P.p_kind) (p.P.p_dur_us /. 1e3) (p.P.p_ts_us /. 1e3))
+      s.P.s_top_pauses;
+    Buffer.add_string b "</ul>"
+  end;
+  Buffer.add_string b "</div>";
+  Buffer.contents b
+
+(* Per-PR performance trajectory (bench trajectory output): a sparkline of
+   global placement time across committed BENCH artifacts plus the table. *)
+let trajectory_html (j : J.t) =
+  let entries =
+    match J.member "entries" j with Some (J.Arr es) -> es | _ -> []
+  in
+  let num k o = match J.member k o with Some (J.Num f) -> Some f | _ -> None in
+  let rows =
+    List.filter_map
+      (fun e ->
+        match num "pr" e with
+        | Some pr ->
+          Some
+            (int_of_float pr, num "qp_s" e, num "realization_s" e,
+             num "global_s" e)
+        | None -> None)
+      entries
+  in
+  if rows = [] then "<p class=\"muted\">no trajectory entries</p>"
+  else begin
+    let b = Buffer.create 2048 in
+    Buffer.add_string b "<div id=\"perf-trajectory\">";
+    (* sparkline over the PRs that have a global time *)
+    let gpts =
+      List.filter_map
+        (fun (pr, _, _, g) -> match g with Some g -> Some (pr, g) | None -> None)
+        rows
+    in
+    if List.length gpts >= 2 then begin
+      let n = List.length gpts in
+      let w = 420.0 and h = 80.0 and ml = 10.0 and mt = 8.0 in
+      let iw = w -. (2.0 *. ml) and ih = h -. (2.0 *. mt) -. 14.0 in
+      let gmax =
+        List.fold_left (fun a (_, g) -> Float.max a g) 1e-9 gpts
+      in
+      let x i = ml +. (iw *. float_of_int i /. float_of_int (n - 1)) in
+      let y g = mt +. (ih *. (1.0 -. (g /. gmax))) in
+      Printf.bprintf b
+        "<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" height=\"%.0f\" \
+         role=\"img\" aria-label=\"global placement time per PR\">"
+        w h w h;
+      Buffer.add_string b "<polyline class=\"series-line\" points=\"";
+      List.iteri (fun i (_, g) -> Printf.bprintf b "%.1f,%.1f " (x i) (y g)) gpts;
+      Buffer.add_string b "\"/>";
+      List.iteri
+        (fun i (pr, g) ->
+          Printf.bprintf b
+            "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" class=\"series-dot\">\
+             <title>PR %d: global %.3fs</title></circle>"
+            (x i) (y g) pr g;
+          Printf.bprintf b
+            "<text x=\"%.1f\" y=\"%.1f\" class=\"tick\" \
+             text-anchor=\"middle\">pr%d</text>"
+            (x i) (h -. 4.0) pr)
+        gpts;
+      Buffer.add_string b "</svg>"
+    end;
+    Buffer.add_string b
+      "<table class=\"metrics\"><thead><tr><th>PR</th><th>qp</th>\
+       <th>realization</th><th>global</th></tr></thead><tbody>";
+    let cell = function Some v -> fsec v | None -> "&#8212;" in
+    List.iter
+      (fun (pr, q, r, g) ->
+        Printf.bprintf b
+          "<tr><td>pr%d</td><td>%s</td><td>%s</td><td>%s</td></tr>" pr (cell q)
+          (cell r) (cell g))
+      rows;
+    Buffer.add_string b "</tbody></table>";
+    Buffer.add_string b
+      "<p class=\"muted\">times are the committed BENCH artifacts' 1-domain \
+       smoke numbers; machines differ across PRs, so read trends, not \
+       absolutes.</p>";
+    Buffer.add_string b "</div>";
+    Buffer.contents b
+  end
+
 (* -------------------------------------------------------------- tables *)
 
 let levels_table (levels : R.level list) =
@@ -338,7 +522,7 @@ thead th { color: var(--text-secondary); font-weight: 600; }
 table.metrics { max-width: 640px; }
 |css}
 
-let render (t : R.t) =
+let render ?trajectory (t : R.t) =
   let b = Buffer.create 16384 in
   let p = t.R.provenance in
   Buffer.add_string b
@@ -354,14 +538,25 @@ let render (t : R.t) =
     (escape_html p.R.tool)
     (match p.R.seed with Some s -> Printf.sprintf " &#183; seed %d" s | None -> "")
     t.R.version
-    (if p.R.config = [] then ""
-     else
-       " &#183; "
-       ^ String.concat ", "
-           (List.map
-              (fun (k, v) ->
-                Printf.sprintf "%s=%s" (escape_html k) (escape_html v))
-              p.R.config));
+    ((if p.R.config = [] then ""
+      else
+        " &#183; "
+        ^ String.concat ", "
+            (List.map
+               (fun (k, v) ->
+                 Printf.sprintf "%s=%s" (escape_html k) (escape_html v))
+               p.R.config))
+     ^
+     match p.R.host with
+     | None -> ""
+     | Some h ->
+       Printf.sprintf
+         " &#183; host: %d hw domains%s, %d effective%s" h.R.hardware_domains
+         (if h.R.hw_clamp then " (clamped)" else "")
+         h.R.eff_domains
+         (match h.R.peak_rss_kb with
+          | Some kb -> Printf.sprintf ", peak RSS %d MB" (kb / 1024)
+          | None -> ""));
   (match t.R.totals with
    | Some tt ->
      Buffer.add_string b "<div class=\"tiles\">";
@@ -384,6 +579,18 @@ let render (t : R.t) =
    | Some d ->
      Buffer.add_string b "<h2>Final density</h2>";
      Buffer.add_string b (heatmap_svg d)
+   | None -> ());
+  (match t.R.profile with
+   | Some s ->
+     Buffer.add_string b "<h2>Domain utilization</h2>";
+     Buffer.add_string b (domain_svg s);
+     Buffer.add_string b "<h2>GC pauses</h2>";
+     Buffer.add_string b (gc_pauses_html s)
+   | None -> ());
+  (match trajectory with
+   | Some j ->
+     Buffer.add_string b "<h2>Performance trajectory</h2>";
+     Buffer.add_string b (trajectory_html j)
    | None -> ());
   Buffer.add_string b "<h2>Levels</h2>";
   Buffer.add_string b (levels_table t.R.levels);

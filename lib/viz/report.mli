@@ -4,7 +4,10 @@
     external assets: provenance header, headline stat tiles, an
     HPWL-vs-level convergence curve (inline SVG), the per-phase wall-time
     breakdown as stacked bars, the final-placement density heatmap, and
-    the per-level / counter / histogram tables.  [fbp_place report run.json
-    -o report.html] is the CLI wrapper. *)
+    the per-level / counter / histogram tables.  Records carrying a
+    [profile] section additionally get a per-domain utilization lane and a
+    GC-pause breakdown; [?trajectory] (a parsed BENCH_trajectory.json from
+    [bench trajectory]) folds in a per-PR performance sparkline.
+    [fbp_place report run.json -o report.html] is the CLI wrapper. *)
 
-val render : Fbp_obs.Recorder.t -> string
+val render : ?trajectory:Fbp_obs.Obs.Json.t -> Fbp_obs.Recorder.t -> string

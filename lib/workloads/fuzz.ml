@@ -697,6 +697,7 @@ let write_artifacts ~dir (f : finding) =
       seed = Some f.shrunk.seed;
       tool = "fbp-fuzz";
       config = [ ("signature", f.signature) ];
+      host = None;
     };
   ignore (run_scenario f.shrunk);
   Rec.write_current record;

@@ -105,6 +105,15 @@ let run_fbp ?(config = Fbp_core.Config.default) ?(repartition = 1)
           max_displacement = lst.Fbp_legalize.Legalizer.max_displacement;
         };
       R.set_density { R.dnx = hnx; dny = hny; usage; capacity };
+      (* host provenance last: Pool.hardware_domains and VmHWM are only
+         meaningful once the run has actually exercised the pool *)
+      R.set_host
+        {
+          R.hw_clamp = config.Fbp_core.Config.hw_clamp;
+          hardware_domains = Fbp_util.Pool.hardware_domains;
+          eff_domains = config.Fbp_core.Config.domains;
+          peak_rss_kb = Fbp_util.Rss.peak_rss_kb ();
+        };
       R.set_totals
         {
           R.hpwl = m.hpwl;

@@ -88,6 +88,15 @@ let f n =
 |};
   check_clean "pure fork2"
     {|let f () = Fbp_util.Pool.fork2 (fun () -> 1) (fun () -> 2)
+|};
+  (* profiler hooks run on worker domains: their closures get the same
+     capture analysis as work closures *)
+  check_finds "capture in Pool.set_profile_hook callback" "domain-safety"
+    {|let n = ref 0
+let arm () = Fbp_util.Pool.set_profile_hook (fun _ev -> incr n)
+|};
+  check_clean "hook forwarding to a named handler"
+    {|let arm st = Fbp_util.Pool.set_profile_hook (fun ev -> handle st ev)
 |}
 
 (* ---------- float-discipline ---------- *)
@@ -171,6 +180,34 @@ let test_io_discipline () =
   check_clean "Printf.sprintf is pure"
     {|let f n = Printf.sprintf "%d" n
 |}
+
+(* ---------- obs-discipline ---------- *)
+
+let test_obs_discipline () =
+  check_finds "raw span_begin in lib" "obs-discipline" ~line:1
+    {|let f () = Fbp_obs.Obs.span_begin "phase"
+|};
+  check_finds "raw span_end in lib" "obs-discipline"
+    {|let f () = Fbp_obs.Obs.span_end "phase"
+|};
+  check_finds "unqualified Obs.span_begin" "obs-discipline"
+    {|let f () = Obs.span_begin "phase"
+|};
+  check_clean "scoped Obs.span is the discipline"
+    {|let f g = Fbp_obs.Obs.span "phase" g
+|};
+  check_clean "record_interval is fine"
+    {|let f () = Fbp_obs.Obs.record_interval ~name:"gc" ~tid:0 ~ts_us:0.0 ~dur_us:1.0 []
+|};
+  check_clean "lib/obs itself may use the raw markers"
+    ~path:"lib/obs/profiler.ml"
+    {|let f () = Obs.span_begin "phase"
+|};
+  check_clean "suppressible with a reason"
+    ({|(* fbp-|}
+    ^ {|lint: allow obs-discipline |} ^ "\xe2\x80\x94" ^ {| fixture *)
+let f () = Fbp_obs.Obs.span_begin "phase"
+|})
 
 (* ---------- suppression ---------- *)
 
@@ -261,6 +298,7 @@ let suite =
     Alcotest.test_case "determinism rule" `Quick test_determinism;
     Alcotest.test_case "error-taxonomy rule" `Quick test_error_taxonomy;
     Alcotest.test_case "io-discipline rule" `Quick test_io_discipline;
+    Alcotest.test_case "obs-discipline rule" `Quick test_obs_discipline;
     Alcotest.test_case "suppression honored" `Quick test_suppression_honored;
     Alcotest.test_case "suppression wrong rule" `Quick test_suppression_wrong_rule;
     Alcotest.test_case "suppression malformed" `Quick test_suppression_malformed;

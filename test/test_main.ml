@@ -5,6 +5,7 @@ let () =
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
       ("recorder", Test_recorder.suite);
+      ("profiler", Test_profiler.suite);
       ("geometry", Test_geometry.suite);
       ("flow", Test_flow.suite);
       ("netlist", Test_netlist.suite);

@@ -70,6 +70,7 @@ let record_fixture ?(hpwl = 8084.5) ?(violations = 0) ?(legal = true)
         seed = Some 7;
         tool = "fbp";
         config = [ ("domains", "1"); ("strict", "false") ];
+        host = None;
       };
     levels =
       [
@@ -109,6 +110,7 @@ let record_fixture ?(hpwl = 8084.5) ?(violations = 0) ?(legal = true)
           violations;
         };
     metrics = None;
+    profile = None;
   }
 
 (* ---------- schema round-trip ---------- *)
@@ -178,7 +180,7 @@ let regressed_metrics c = List.map (fun g -> g.R.metric) c.R.regressions
 
 let test_diff_self_clean () =
   let r = record_fixture () in
-  let c = R.diff ~max_hpwl_regress:0.02 ~max_time_regress:0.25 ~base:r ~cand:r in
+  let c = R.diff ~max_hpwl_regress:0.02 ~max_time_regress:0.25 ~base:r ~cand:r () in
   Alcotest.(check (list string)) "no regressions vs self" [] (regressed_metrics c);
   Alcotest.(check bool) "prints comparison lines" true (c.R.lines <> [])
 
@@ -186,24 +188,24 @@ let test_diff_hpwl_regression () =
   let base = record_fixture ~hpwl:8000.0 () in
   let cand = record_fixture ~hpwl:(8000.0 *. 1.05) () in
   let c =
-    R.diff ~max_hpwl_regress:0.02 ~max_time_regress:0.25 ~base ~cand
+    R.diff ~max_hpwl_regress:0.02 ~max_time_regress:0.25 ~base ~cand ()
   in
   Alcotest.(check (list string)) "hpwl gated" [ "hpwl" ] (regressed_metrics c);
   (* the same 5% bump passes with a 10% budget *)
-  let c' = R.diff ~max_hpwl_regress:0.10 ~max_time_regress:0.25 ~base ~cand in
+  let c' = R.diff ~max_hpwl_regress:0.10 ~max_time_regress:0.25 ~base ~cand () in
   Alcotest.(check (list string)) "within budget" [] (regressed_metrics c')
 
 let test_diff_improvement_never_regresses () =
   let base = record_fixture ~hpwl:8000.0 ~total_time:1.0 () in
   let cand = record_fixture ~hpwl:6000.0 ~total_time:0.2 () in
-  let c = R.diff ~max_hpwl_regress:0.0 ~max_time_regress:0.0 ~base ~cand in
+  let c = R.diff ~max_hpwl_regress:0.0 ~max_time_regress:0.0 ~base ~cand () in
   Alcotest.(check (list string)) "improvement passes zero budget" []
     (regressed_metrics c)
 
 let test_diff_violations_and_legality () =
   let base = record_fixture ~violations:0 ~legal:true () in
   let cand = record_fixture ~violations:4 ~legal:false () in
-  let c = R.diff ~max_hpwl_regress:0.5 ~max_time_regress:5.0 ~base ~cand in
+  let c = R.diff ~max_hpwl_regress:0.5 ~max_time_regress:5.0 ~base ~cand () in
   let metrics = regressed_metrics c in
   Alcotest.(check bool) "violation increase gated" true
     (List.mem "violations" metrics);
