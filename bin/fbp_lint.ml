@@ -1,23 +1,35 @@
 (* fbp-lint CLI: lint the repo's own sources with the Fbp_analysis rules.
 
-   Exit codes: 0 clean, 1 findings, 2 file/parse errors (or bad usage).
-   Run from the repo root (paths are repo-relative); the @lint alias does
-   this under dune with the source tree as dependencies. *)
+   Exit codes: 0 clean, 1 findings (or a refused baseline update), 2
+   file/parse errors (or bad usage).  Run from the repo root (paths are
+   repo-relative); the @lint alias does this under dune with the source
+   tree and .cmt artifacts as dependencies. *)
 
 let usage =
-  "usage: fbp_lint [--json] [--baseline FILE] [--update-baseline] [--rules] \
-   [PATH...]\n\
+  "usage: fbp_lint [--json] [--json-out FILE] [--baseline FILE] \
+   [--update-baseline] [--interproc] [--cmt-root DIR] [--rules] [PATH...]\n\
    Lints .ml files under the given paths (default: lib bin bench).\n\
   \  --json             emit a JSON report instead of text\n\
+  \  --json-out FILE    also write the JSON report to FILE\n\
   \  --baseline FILE    hide findings listed in FILE (one file:line:rule per \
    line)\n\
-  \  --update-baseline  rewrite FILE with the current findings and exit 0\n\
+  \  --update-baseline  shrink FILE to the still-firing keys; refuses to add \
+   entries\n\
+  \  --interproc        also run the typed whole-program pass (needs .cmt \
+   files\n\
+  \                     from `dune build @check`)\n\
+  \  --cmt-root DIR     scan DIR for .cmt files (repeatable; default: the \
+   build\n\
+  \                     contexts of the lint paths)\n\
   \  --rules            list the rule catalogue and exit\n"
 
 let () =
   let json = ref false in
+  let json_out = ref None in
   let baseline = ref None in
   let update = ref false in
+  let interproc = ref false in
+  let cmt_roots = ref [] in
   let list_rules = ref false in
   let paths = ref [] in
   let bad msg =
@@ -29,6 +41,10 @@ let () =
     | "--json" :: rest ->
       json := true;
       parse rest
+    | "--json-out" :: file :: rest ->
+      json_out := Some file;
+      parse rest
+    | "--json-out" :: [] -> bad "--json-out needs a file argument"
     | "--baseline" :: file :: rest ->
       baseline := Some file;
       parse rest
@@ -36,6 +52,13 @@ let () =
     | "--update-baseline" :: rest ->
       update := true;
       parse rest
+    | "--interproc" :: rest ->
+      interproc := true;
+      parse rest
+    | "--cmt-root" :: dir :: rest ->
+      cmt_roots := dir :: !cmt_roots;
+      parse rest
+    | "--cmt-root" :: [] -> bad "--cmt-root needs a directory argument"
     | "--rules" :: rest ->
       list_rules := true;
       parse rest
@@ -58,25 +81,61 @@ let () =
   let roots =
     match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
   in
+  let ip_config =
+    if not !interproc then None
+    else
+      let cmt_roots =
+        match List.rev !cmt_roots with
+        | [] -> Fbp_analysis.Cmt_loader.default_roots roots
+        | rs -> rs
+      in
+      Some (Fbp_analysis.Interproc.default_config ~cmt_roots)
+  in
   if !update then begin
     let file =
       match !baseline with
       | Some f -> f
       | None -> bad "--update-baseline needs --baseline FILE"
     in
-    let report = Fbp_analysis.Lint.run_paths roots in
+    (* ratchet: run without the baseline filter, then keep only the
+       intersection of old keys and current findings.  Any finding not
+       already baselined is a refusal — fix or suppress it instead. *)
+    let report = Fbp_analysis.Lint.run_paths ?interproc:ip_config roots in
+    let old_keys = Fbp_analysis.Lint.load_baseline (Some file) in
+    let r =
+      Fbp_analysis.Lint.ratchet ~old_keys
+        ~current:report.Fbp_analysis.Lint.diagnostics
+    in
+    if r.Fbp_analysis.Lint.rejected <> [] then begin
+      Printf.eprintf
+        "fbp-lint: refusing to grow the baseline; %d finding(s) are not in \
+         %s:\n"
+        (List.length r.Fbp_analysis.Lint.rejected)
+        file;
+      List.iter (Printf.eprintf "  %s\n") r.Fbp_analysis.Lint.rejected;
+      Printf.eprintf
+        "fbp-lint: fix them or add an inline suppression with a reason.\n";
+      exit 1
+    end;
     let oc = open_out file in
     output_string oc
       "# fbp-lint baseline: one file:line:rule per line. Policy: keep empty.\n";
-    output_string oc
-      (Fbp_analysis.Lint.baseline_of report.Fbp_analysis.Lint.diagnostics);
+    List.iter (fun k -> output_string oc (k ^ "\n")) r.Fbp_analysis.Lint.kept;
     close_out oc;
-    Printf.eprintf "fbp-lint: wrote %d key(s) to %s\n"
-      (List.length report.Fbp_analysis.Lint.diagnostics)
-      file;
+    Printf.eprintf "fbp-lint: baseline %s: %d key(s) kept, %d retired\n" file
+      (List.length r.Fbp_analysis.Lint.kept)
+      (List.length r.Fbp_analysis.Lint.retired);
     exit 0
   end;
-  let report = Fbp_analysis.Lint.run_paths ?baseline:!baseline roots in
+  let report =
+    Fbp_analysis.Lint.run_paths ?baseline:!baseline ?interproc:ip_config roots
+  in
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Fbp_analysis.Lint.render_json report);
+    close_out oc);
   print_string
     (if !json then Fbp_analysis.Lint.render_json report
      else Fbp_analysis.Lint.render_text report);

@@ -10,8 +10,34 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
 echo "== dune build @lint (fbp-lint must report zero findings)"
 dune build @lint
+
+echo "== lint baseline ratchet (may shrink vs HEAD, never grow)"
+if git -C . rev-parse --verify HEAD >/dev/null 2>&1; then
+  git -C . show HEAD:lint-baseline.txt > "$tmp/baseline.head" 2>/dev/null \
+    || : > "$tmp/baseline.head"
+  sed '/^#/d;/^[[:space:]]*$/d' lint-baseline.txt | sort > "$tmp/baseline.now"
+  sed '/^#/d;/^[[:space:]]*$/d' "$tmp/baseline.head" | sort > "$tmp/baseline.old"
+  grown="$(comm -23 "$tmp/baseline.now" "$tmp/baseline.old")"
+  if [ -n "$grown" ]; then
+    echo "lint-baseline.txt grew vs HEAD (fix or suppress instead):"
+    echo "$grown"
+    exit 1
+  fi
+fi
+
+echo "== interproc lint determinism (two runs, byte-identical, <10s each)"
+lint="./_build/default/bin/fbp_lint.exe"
+timeout 10 "$lint" --interproc --json lib bin bench > "$tmp/lint1.json" \
+  || { echo "interproc lint run 1 failed or exceeded 10s"; exit 1; }
+timeout 10 "$lint" --interproc --json lib bin bench > "$tmp/lint2.json" \
+  || { echo "interproc lint run 2 failed or exceeded 10s"; exit 1; }
+cmp -s "$tmp/lint1.json" "$tmp/lint2.json" \
+  || { echo "interproc lint output is not byte-stable across runs"; exit 1; }
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
@@ -19,9 +45,6 @@ if command -v ocamlformat >/dev/null 2>&1; then
 else
   echo "== skipping @fmt (ocamlformat not installed)"
 fi
-
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 
 echo "== bench smoke (BENCH_pr3.json + BENCH_pr4.json + BENCH_pr5.json + BENCH_pr7.json + BENCH_pr8.json)"
 FBP_BENCH_SMOKE=1 FBP_BENCH_JSON="$tmp/BENCH_pr3.json" \

@@ -1,0 +1,103 @@
+(* Deterministic cross-module call graph over effect summaries.
+
+   Nodes are canonical dotted function paths; edges are the may-call
+   references Effects collected.  Everything is kept sorted so BFS
+   orders — and therefore diagnostic chains — are byte-stable. *)
+
+type t = {
+  tbl : (string, Effects.t) Hashtbl.t;
+  ids : string list;  (* sorted *)
+}
+
+let build summaries =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Effects.t) ->
+      if not (Hashtbl.mem tbl s.Effects.fn) then Hashtbl.replace tbl s.fn s)
+    summaries;
+  let ids =
+    List.sort_uniq String.compare
+      (List.map (fun (s : Effects.t) -> s.Effects.fn) summaries)
+  in
+  { tbl; ids }
+
+let find g id = Hashtbl.find_opt g.tbl id
+let ids g = g.ids
+
+(* Successors that exist in the graph, sorted and deduplicated. *)
+let succs g id =
+  match find g id with
+  | None -> []
+  | Some s ->
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun (c : Effects.call) ->
+           if Hashtbl.mem g.tbl c.Effects.callee then Some c.callee else None)
+         s.Effects.calls)
+
+let matches_prefix prefixes id =
+  List.exists
+    (fun p -> String.equal id p || String.starts_with ~prefix:p id)
+    prefixes
+
+(* Multi-source BFS from every node matching one of [prefixes].  Returns
+   a map node -> path (entry first, node last); entries map to [entry].
+   Sources are visited in sorted order, so the chain each node gets is
+   deterministic (first discovered wins). *)
+let reach_from g ~prefixes =
+  let paths = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun id ->
+      if matches_prefix prefixes id && not (Hashtbl.mem paths id) then begin
+        Hashtbl.replace paths id [ id ];
+        Queue.add id queue
+      end)
+    g.ids;
+  while not (Queue.is_empty queue) do
+    let id = Queue.take queue in
+    let path = Hashtbl.find paths id in
+    List.iter
+      (fun nxt ->
+        if not (Hashtbl.mem paths nxt) then begin
+          Hashtbl.replace paths nxt (path @ [ nxt ]);
+          Queue.add nxt queue
+        end)
+      (succs g id)
+  done;
+  paths
+
+(* Shortest deterministic chain from [src] to any node satisfying [stop],
+   skipping nodes matched by [skip].  Returns the node path including both
+   endpoints. *)
+let chain g ~src ~stop ~skip =
+  if not (Hashtbl.mem g.tbl src) then None
+  else if skip src then None
+  else begin
+    let paths = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Hashtbl.replace paths src [ src ];
+    Queue.add src queue;
+    let found = ref None in
+    (try
+       while not (Queue.is_empty queue) do
+         let id = Queue.take queue in
+         let path = Hashtbl.find paths id in
+         (match find g id with
+         | Some s when stop s ->
+           found := Some (List.rev path);
+           raise Exit
+         | _ -> ());
+         List.iter
+           (fun nxt ->
+             if (not (Hashtbl.mem paths nxt)) && not (skip nxt) then begin
+               Hashtbl.replace paths nxt (nxt :: path);
+               Queue.add nxt queue
+             end)
+           (succs g id)
+       done
+     with Exit -> ());
+    !found
+  end
+
+let render_chain path = String.concat " -> " path

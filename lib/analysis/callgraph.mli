@@ -1,0 +1,29 @@
+(** Deterministic cross-module call graph over effect summaries. *)
+
+type t
+
+val build : Effects.t list -> t
+
+val find : t -> string -> Effects.t option
+val ids : t -> string list  (** sorted *)
+
+val succs : t -> string -> string list
+(** Callees that exist in the graph, sorted and deduplicated. *)
+
+val matches_prefix : string list -> string -> bool
+(** Does the id equal or start with one of the prefixes? *)
+
+val reach_from : t -> prefixes:string list -> (string, string list) Hashtbl.t
+(** Multi-source BFS from every node matching a prefix.  Maps each
+    reachable node to a deterministic entry-to-node chain. *)
+
+val chain :
+  t ->
+  src:string ->
+  stop:(Effects.t -> bool) ->
+  skip:(string -> bool) ->
+  string list option
+(** Shortest deterministic chain from [src] to a node satisfying [stop],
+    never passing through nodes matched by [skip]. *)
+
+val render_chain : string list -> string

@@ -1,0 +1,106 @@
+(* Typed-AST loading for the interprocedural lint pass.
+
+   `dune build @check` leaves a .cmt (binary-annotated typedtree) next to
+   every compiled module under _build/default/**/.objs/byte/.  This module
+   scans a set of roots for those files, decodes them with the in-process
+   compiler-libs, and canonicalizes dune's name mangling
+   (Fbp_util__Pool -> Fbp_util.Pool, Dune__exe__Fbp_place -> Fbp_place)
+   so the rest of the analysis can speak in source-level module paths. *)
+
+type unit_info = {
+  name : string list;  (** canonical module path, e.g. [["Fbp_util"; "Pool"]] *)
+  source : string;  (** workspace-relative source path, e.g. "lib/util/pool.ml" *)
+  structure : Typedtree.structure;
+}
+
+(* Split a compilation-unit name on dune's "__" separator.  Single
+   underscores (ordinary OCaml names) are untouched. *)
+let split_mangled s =
+  let n = String.length s in
+  let out = ref [] and start = ref 0 and i = ref 0 in
+  while !i + 1 < n do
+    if s.[!i] = '_' && s.[!i + 1] = '_' then begin
+      out := String.sub s !start (!i - !start) :: !out;
+      i := !i + 2;
+      start := !i
+    end
+    else incr i
+  done;
+  out := String.sub s !start (n - !start) :: !out;
+  List.filter (fun x -> not (String.equal x "")) (List.rev !out)
+
+(* Canonical module path of one (possibly mangled) name component. *)
+let canon_component s =
+  match split_mangled s with
+  | "Dune" :: "exe" :: rest -> rest
+  | parts -> parts
+
+let canon_unit_name modname =
+  match canon_component modname with [] -> None | parts -> Some parts
+
+(* ------------------------------------------------------------- scanning *)
+
+(* Unlike the source gatherer this walk must descend into dune's hidden
+   .objs directories — that is where every .cmt lives. *)
+let gather_cmts roots =
+  let acc = ref [] in
+  let rec visit path =
+    match Sys.is_directory path with
+    | true ->
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.iter (fun e -> visit (Filename.concat path e)) entries
+    | false ->
+      if String.ends_with ~suffix:".cmt" path then acc := path :: !acc
+    | exception Sys_error _ -> ()
+  in
+  List.iter (fun root -> if Sys.file_exists root then visit root) roots;
+  List.sort String.compare !acc
+
+let load_one path =
+  let infos = Cmt_format.read_cmt path in
+  match infos.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation structure -> (
+    match canon_unit_name infos.Cmt_format.cmt_modname with
+    | None -> None
+    | Some name ->
+      let source =
+        match infos.Cmt_format.cmt_sourcefile with
+        | Some s -> s
+        | None -> path
+      in
+      Some { name; source; structure })
+  | _ -> None
+
+let scan ~roots =
+  let seen = Hashtbl.create 64 in
+  let units = ref [] and errors = ref [] in
+  List.iter
+    (fun path ->
+      match load_one path with
+      | None -> ()
+      | Some u ->
+        let key = String.concat "." u.name in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          units := u :: !units
+        end
+      | exception exn ->
+        (* version-skewed or truncated .cmt: report, keep going *)
+        errors := (path, Printexc.to_string exn) :: !errors)
+    (gather_cmts roots);
+  let units =
+    List.sort (fun a b -> List.compare String.compare a.name b.name) !units
+  in
+  (units, List.rev !errors)
+
+(* Where to look for .cmt files given the source roots the user passed:
+   from the workspace root the artifacts live under _build/default/<root>,
+   while inside a dune rule (cwd is already the build context) the root
+   itself contains the .objs directories. *)
+let default_roots paths =
+  List.map
+    (fun p ->
+      let built = Filename.concat (Filename.concat "_build" "default") p in
+      if Sys.file_exists built then built else p)
+    paths

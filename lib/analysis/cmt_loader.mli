@@ -1,0 +1,22 @@
+(** Typed-AST ([.cmt]) loading for the interprocedural lint pass. *)
+
+type unit_info = {
+  name : string list;  (** canonical module path, e.g. [["Fbp_util"; "Pool"]] *)
+  source : string;  (** workspace-relative source path, e.g. "lib/util/pool.ml" *)
+  structure : Typedtree.structure;
+}
+
+val canon_component : string -> string list
+(** Canonical module path of one possibly dune-mangled name component:
+    ["Fbp_util__Pool"] becomes [["Fbp_util"; "Pool"]] and the
+    ["Dune__exe__"] executable-wrapper prefix is stripped. *)
+
+val scan : roots:string list -> unit_info list * (string * string) list
+(** Load every implementation [.cmt] found under the given roots
+    (descending into dune's hidden [.objs] directories).  Returns units
+    sorted by canonical name, deduplicated on first occurrence, plus a
+    list of [(path, error)] pairs for files that failed to decode. *)
+
+val default_roots : string list -> string list
+(** Map source roots to the corresponding build-context directories when
+    invoked from the workspace root ([lib] -> [_build/default/lib]). *)

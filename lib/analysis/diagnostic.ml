@@ -26,6 +26,11 @@ let make ~rule ~file ~(loc : Ppxlib.Location.t) ?hint msg =
     hint;
   }
 
+(* Construction from raw positions, for passes (the interprocedural one)
+   that carry compiler-libs locations rather than ppxlib ones. *)
+let make_pos ~rule ~file ~line ~col ?hint msg =
+  { rule; file; line; col; end_line = line; end_col = col; msg; hint }
+
 let to_text d =
   let span =
     if d.end_line = d.line then Printf.sprintf "%d:%d-%d" d.line d.col d.end_col

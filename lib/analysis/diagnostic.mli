@@ -19,6 +19,12 @@ val make :
   rule:string -> file:string -> loc:Ppxlib.Location.t -> ?hint:string ->
   string -> t
 
+(** Construct from raw line/column (used by passes that do not carry a
+    ppxlib location, e.g. the interprocedural analysis over [.cmt]s). *)
+val make_pos :
+  rule:string -> file:string -> line:int -> col:int -> ?hint:string ->
+  string -> t
+
 (** [file:line:col-endcol: [rule] msg (hint: ...)] — one line per finding. *)
 val to_text : t -> string
 

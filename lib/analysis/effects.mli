@@ -1,0 +1,77 @@
+(** Per-function local effect summaries extracted from typed ASTs.
+
+    One summary per toplevel binding; {!Interproc} propagates these to a
+    fixpoint over the call graph.  Ref-class mutable state only — array/
+    bytes/bigarray element stores are the sanctioned chunk-disjoint
+    parallel-write pattern and are deliberately not tracked. *)
+
+type site = {
+  sfile : string;
+  sline : int;
+  scol : int;
+  swhat : string;  (** human description, e.g. ["writes 'Pool.state'"] *)
+}
+
+val compare_site : site -> site -> int
+
+(** Exception filter contributed by one enclosing handler. *)
+type filter = Catch_all | Catch of string list
+
+val compare_filter : filter -> filter -> int
+
+type call = {
+  callee : string;  (** canonical dotted path *)
+  csite : site;
+  catches : filter list;  (** handlers active around the call site *)
+}
+
+type closure_info = {
+  k_site : site;
+  k_refs : call list;
+      (** functions referenced inside the parallel closure *)
+  k_captured : site list;
+      (** direct mutation/read of state captured from the enclosing fn *)
+  k_global : site list;  (** direct mutation/read of module-level state *)
+  k_mut_args : (string * string * site) list;
+      (** (callee, captured var, site): mutable container hand-off *)
+}
+
+type region = {
+  r_entry : string;  (** e.g. ["Fbp_util.Pool.run_chunks"] *)
+  r_site : site;
+  r_closures : closure_info list;
+}
+
+type t = {
+  fn : string;  (** canonical dotted path of the binding *)
+  src : string;
+  fn_line : int;
+  writes_global : site list;
+  reads_global : site list;
+  writes_args : site list;
+  io : site list;
+  nondet : site list;
+  raises : (string * site) list;  (** exceptions escaping lexically *)
+  handlers : filter list;
+      (** every handler appearing anywhere in the node, lexical or not.
+          Lambdas defer their body to call time, so a handler wrapping
+          [Obs.span "x" (fun () -> risky ())] is not lexically above the
+          risky call — yet in this codebase such a handler does catch at
+          run time.  Raises propagating into the node through calls are
+          filtered against this set; the cost is masking the rare raise
+          that happens sequentially before its handler. *)
+  calls : call list;
+  regions : region list;
+}
+
+val compare_raise : string * site -> string * site -> int
+
+val caught_by : filter list -> string -> bool
+(** Is an exception with this canonical name stopped by the given handler
+    stack? *)
+
+val of_units :
+  sanctioned:(string -> bool) -> Cmt_loader.unit_info list -> t list
+(** Extract summaries for every toplevel binding of every unit.
+    [sanctioned src] suppresses nondeterminism sites for blessed sources
+    (the rng/timer wrappers). *)

@@ -1,0 +1,48 @@
+(** Interprocedural effect inference over [.cmt] typed ASTs (fbp-lint v2).
+
+    Propagates per-function effect summaries to a fixpoint through the
+    cross-module call graph and runs the semantic versions of the
+    domain-safety, determinism and error-taxonomy rules.
+
+    Soundness caveats (documented in DESIGN.md §8): calls through
+    higher-order arguments and functor instantiations are approximated by
+    the may-call edge set (every resolved identifier occurrence); custom
+    mutable record types handed into closures are only tracked through
+    the known stdlib container set; array/bytes/bigarray element stores
+    are treated as the sanctioned chunk-disjoint pattern and never
+    flagged. *)
+
+type config = {
+  cmt_roots : string list;  (** directories scanned for [.cmt] files *)
+  det_entries : string list;
+      (** dotted prefixes whose call cone must be deterministic *)
+  cli_entries : string list;
+      (** dotted prefixes whose escaping raises must be typed *)
+  sanctioned_nondet : string list;
+      (** source-path suffixes allowed to touch nondeterminism sources *)
+  trusted : string list;
+      (** dotted prefixes of the synchronization layer: shared-state
+          propagation is cut at these units *)
+  sanctioned_exns : string list;
+      (** exception names (canonical or short) allowed to escape CLI
+          entries *)
+}
+
+val default_config : cmt_roots:string list -> config
+
+type result = {
+  diagnostics : Diagnostic.t list;  (** sorted, deduplicated *)
+  units_loaded : int;
+  covered_sources : string list;
+      (** sorted source paths that have typed coverage *)
+  signatures : (string * string) list;
+      (** function -> rendered effect signature, e.g.
+          ["writes_shared(2) raises(Overflow)"] or ["pure"] *)
+  load_errors : (string * string) list;
+}
+
+val analyze : config -> result
+
+val analyze_units :
+  config -> Cmt_loader.unit_info list -> (string * string) list -> result
+(** Like {!analyze} over already-loaded units (used by tests). *)

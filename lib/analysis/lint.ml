@@ -7,6 +7,7 @@ type report = {
   diagnostics : Diagnostic.t list;
   baselined : int;
   errors : (string * string) list;
+  interproc_units : int;  (* typed units loaded; 0 in syntactic-only runs *)
 }
 
 let parse ~path src =
@@ -81,46 +82,151 @@ let baseline_of diags =
 
 (* ------------------------------------------------------------------- run *)
 
-let run_paths ?baseline roots =
+(* The interprocedural pass reports source paths as the compiler recorded
+   them (workspace-relative); the gatherer sees them relative to the cwd.
+   Suffix-tolerant equality bridges the two without a path-normalization
+   dependency. *)
+let same_source a b =
+  String.equal a b
+  || String.ends_with ~suffix:("/" ^ b) a
+  || String.ends_with ~suffix:("/" ^ a) b
+
+(* Rules the interprocedural pass owns the semantic version of.  In a
+   syntactic-only run, suppressions naming them are never reported
+   unused: only a run with both passes can declare them stale. *)
+let semantic_rules = [ "domain-safety"; "determinism"; "error-taxonomy" ]
+
+let run_paths ?baseline ?interproc roots =
   let keys = load_baseline baseline in
   let in_baseline d = List.exists (String.equal (Diagnostic.key d)) keys in
   let files = gather_files roots in
+  let ip = Option.map Interproc.analyze interproc in
+  let covered file =
+    match ip with
+    | None -> false
+    | Some r ->
+      List.exists (same_source file) r.Interproc.covered_sources
+  in
+  (* interprocedural findings for one gathered file, rekeyed to the
+     gathered path so suppressions and baselines match *)
+  let matched = Hashtbl.create 16 in
+  let ip_diags_for file =
+    match ip with
+    | None -> []
+    | Some r ->
+      List.filter_map
+        (fun (d : Diagnostic.t) ->
+          if same_source d.Diagnostic.file file then begin
+            Hashtbl.replace matched d.Diagnostic.file ();
+            Some { d with Diagnostic.file }
+          end
+          else None)
+        r.Interproc.diagnostics
+  in
+  let defer =
+    match ip with
+    | Some _ -> fun _ -> false
+    | None ->
+      fun rules ->
+        List.exists
+          (fun r -> List.exists (String.equal r) semantic_rules)
+          rules
+  in
   let diags = ref [] and errors = ref [] and hidden = ref 0 in
   List.iter
     (fun file ->
-      match lint_file file with
+      let result =
+        match read_file file with
+        | exception Sys_error why -> Error why
+        | src -> (
+          try
+            let st = parse ~path:file src in
+            let findings =
+              Rules.run ~closure_capture:(not (covered file)) ~file st
+            in
+            let sups, malformed = Suppress.scan ~file src in
+            Ok
+              (List.sort Diagnostic.compare
+                 (Suppress.apply ~defer ~file sups
+                    (findings @ malformed @ ip_diags_for file)))
+          with exn -> Error (Printexc.to_string exn))
+      in
+      match result with
       | Error why -> errors := (file, why) :: !errors
       | Ok ds ->
         List.iter
           (fun d -> if in_baseline d then incr hidden else diags := d :: !diags)
           ds)
     files;
+  (* interprocedural findings in sources outside the gathered roots (or
+     whose path never matched) must not be dropped silently *)
+  (match ip with
+  | None -> ()
+  | Some r ->
+    List.iter
+      (fun (d : Diagnostic.t) ->
+        if not (Hashtbl.mem matched d.Diagnostic.file) then
+          if in_baseline d then incr hidden else diags := d :: !diags)
+      r.Interproc.diagnostics);
+  (match ip with
+  | None -> ()
+  | Some r ->
+    List.iter
+      (fun (path, why) -> errors := (path, why) :: !errors)
+      r.Interproc.load_errors);
   {
     files_scanned = List.length files;
     diagnostics = List.sort Diagnostic.compare !diags;
     baselined = !hidden;
     errors = List.rev !errors;
+    interproc_units =
+      (match ip with None -> 0 | Some r -> r.Interproc.units_loaded);
   }
 
 let failed r =
   (match r.diagnostics with [] -> false | _ -> true)
   || match r.errors with [] -> false | _ -> true
 
+(* -------------------------------------------------------------- ratchet *)
+
+type ratchet = {
+  kept : string list;  (* old keys still firing: the new baseline *)
+  retired : string list;  (* old keys no longer firing: shrinkage *)
+  rejected : string list;  (* current findings absent from the old file *)
+}
+
+(* The committed baseline may shrink but never grow: an --update-baseline
+   run keeps only the intersection and refuses outright if any current
+   finding is not already baselined. *)
+let ratchet ~old_keys ~current =
+  let current_keys =
+    List.sort_uniq String.compare (List.map Diagnostic.key current)
+  in
+  let mem k l = List.exists (String.equal k) l in
+  {
+    kept = List.filter (fun k -> mem k current_keys) old_keys;
+    retired = List.filter (fun k -> not (mem k current_keys)) old_keys;
+    rejected = List.filter (fun k -> not (mem k old_keys)) current_keys;
+  }
+
 (* ------------------------------------------------------------- rendering *)
 
 let summary_line r =
-  Printf.sprintf
-    "fbp-lint: %d file%s scanned, %d finding%s%s%s"
+  Printf.sprintf "fbp-lint: %d file%s scanned, %d finding%s%s%s%s"
     r.files_scanned
     (if r.files_scanned = 1 then "" else "s")
     (List.length r.diagnostics)
     (if List.length r.diagnostics = 1 then "" else "s")
+    (if r.interproc_units > 0 then
+       Printf.sprintf " (%d typed units)" r.interproc_units
+     else "")
     (if r.baselined > 0 then Printf.sprintf ", %d baselined" r.baselined
      else "")
     (match r.errors with
     | [] -> ""
-    | es -> Printf.sprintf ", %d file error%s" (List.length es)
-              (if List.length es = 1 then "" else "s"))
+    | es ->
+      Printf.sprintf ", %d file error%s" (List.length es)
+        (if List.length es = 1 then "" else "s"))
 
 let render_text r =
   let buf = Buffer.create 1024 in
@@ -155,8 +261,9 @@ let render_json r =
            (Diagnostic.json_string why)))
     r.errors;
   Buffer.add_string buf
-    (Printf.sprintf "],\"files_scanned\":%d,\"baselined\":%d,\"clean\":%b}"
-       r.files_scanned r.baselined
+    (Printf.sprintf
+       "],\"files_scanned\":%d,\"baselined\":%d,\"interproc_units\":%d,\"clean\":%b}"
+       r.files_scanned r.baselined r.interproc_units
        (not (failed r)));
   Buffer.add_char buf '\n';
   Buffer.contents buf

@@ -12,6 +12,8 @@ type report = {
   diagnostics : Diagnostic.t list;  (** post-suppression, sorted *)
   baselined : int;  (** findings hidden by the baseline *)
   errors : (string * string) list;  (** (path, why) read/parse failures *)
+  interproc_units : int;
+      (** typed units the interprocedural pass loaded; 0 when it was off *)
 }
 
 (** Lint source text as-if at [path] (drives path-scoped rules).  Used by
@@ -26,11 +28,32 @@ val lint_file : string -> (Diagnostic.t list, string) result
 val gather_files : string list -> string list
 
 (** Lint every file under the roots; [baseline] is a path (missing or
-    unreadable baseline = empty). *)
-val run_paths : ?baseline:string -> string list -> report
+    unreadable baseline = empty).  With [interproc], the typed
+    whole-program pass also runs: its findings are merged per file
+    (suffix-tolerant source matching), the syntactic closure-capture
+    sub-check of [domain-safety] is superseded for covered files, and
+    suppression staleness is judged against *both* passes.  Without it,
+    suppressions naming the semantic-capable rules are never reported
+    unused (deferred to the next combined run). *)
+val run_paths :
+  ?baseline:string -> ?interproc:Interproc.config -> string list -> report
 
 (** Baseline file content for the given findings. *)
 val baseline_of : Diagnostic.t list -> string
+
+type ratchet = {
+  kept : string list;  (** old keys still firing: the new baseline *)
+  retired : string list;  (** old keys no longer firing *)
+  rejected : string list;  (** current findings absent from the old file *)
+}
+
+(** Baseline ratchet: compare current findings against the committed
+    keys.  [rejected] non-empty means the baseline would have to grow,
+    which the tooling refuses. *)
+val ratchet : old_keys:string list -> current:Diagnostic.t list -> ratchet
+
+(** Parse a baseline file's keys ([None]/missing file = empty). *)
+val load_baseline : string option -> string list
 
 (** Human-readable report: one line per finding plus a summary line. *)
 val render_text : report -> string

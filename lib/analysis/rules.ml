@@ -565,8 +565,9 @@ let rec check_work_arg ~report env e =
   | Pexp_apply (head, _) -> check_work_arg ~report env head
   | _ -> ()
 
-let domain_safety ~(add : adder) st =
+let domain_safety ~closure_capture ~(add : adder) st =
   if uses_parallelism st then module_level_mutables ~add st;
+  if closure_capture then begin
   let env = binding_env st in
   let it =
     object
@@ -607,15 +608,16 @@ let domain_safety ~(add : adder) st =
     end
   in
   it#structure st
+  end
 
 (* ------------------------------------------------------------------ run *)
 
-let run ~file st =
+let run ?(closure_capture = true) ~file st =
   let sc = scope_of_file file in
   let diags = ref [] in
   let add ~rule ~loc ?hint msg =
     diags := Diagnostic.make ~rule ~file ~loc ?hint msg :: !diags
   in
   expression_rules ~sc ~add st;
-  domain_safety ~add st;
+  domain_safety ~closure_capture ~add st;
   List.sort_uniq Diagnostic.compare !diags

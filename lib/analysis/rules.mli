@@ -32,5 +32,11 @@ val catalogue : (string * string) list
 
 (** Run every rule over one parsed implementation.  [file] is the
     repo-relative path; it decides which scopes ([lib/], [bin/], [bench/])
-    apply. *)
-val run : file:string -> Ppxlib.structure -> Diagnostic.t list
+    apply.  [closure_capture] (default true) controls the syntactic
+    closure-capture sub-check of [domain-safety]; the driver turns it off
+    for files covered by the interprocedural pass, which supersedes it
+    with a transitive version (module-level-mutable detection always
+    runs). *)
+val run :
+  ?closure_capture:bool -> file:string -> Ppxlib.structure ->
+  Diagnostic.t list

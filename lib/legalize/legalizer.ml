@@ -494,6 +494,7 @@ let run ?movebound_aware inst regions pos ~piece_of_cell ~grid =
   Fbp_obs.Obs.span "legalize.run" (fun () ->
       match Fbp_resilience.Inject.fire Fbp_resilience.Inject.Legalize with
       | Some (Fbp_resilience.Inject.Raise msg) ->
+        (* fbp-lint: allow error-taxonomy — fires only when the fuzz harness arms the registry, which converts it; CLI runs never arm *)
         raise (Fbp_resilience.Inject.Injected msg)
       | fired ->
         let stats, failed =

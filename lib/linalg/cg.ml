@@ -84,6 +84,7 @@ let solve ?(record = true) ?(max_iter = 0) ?(tol = 1e-7) (a : Csr.t)
   | Some Fbp_resilience.Inject.Stagnate ->
     { iterations = max_iter; residual = 1.0; converged = false }
   | Some (Fbp_resilience.Inject.Raise msg) ->
+    (* fbp-lint: allow error-taxonomy — fires only when the fuzz harness arms the registry, which converts it; CLI runs never arm *)
     raise (Fbp_resilience.Inject.Injected msg)
   | _ ->
     let s = solve_real ~max_iter ~tol a b x in

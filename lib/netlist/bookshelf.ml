@@ -102,6 +102,7 @@ let read_channel ?(name = "from-file") ic =
        (match Fbp_resilience.Inject.fire Fbp_resilience.Inject.Parse with
         | Some Fbp_resilience.Inject.Corrupt -> parse_failure ln "injected corruption"
         | Some (Fbp_resilience.Inject.Raise msg) ->
+          (* fbp-lint: allow error-taxonomy — fires only when the fuzz harness arms the registry, which converts it; CLI runs never arm *)
           raise (Fbp_resilience.Inject.Injected msg)
         | _ -> ());
        let line =

@@ -23,7 +23,10 @@ type event = {
   args : (string * string) list;
 }
 
-let epoch = ref (Fbp_util.Timer.now ())
+(* Atomic, not a ref under the lock: the pool profiler hook reads the
+   trace clock from worker domains, and an atomic read that races [reset]
+   merely lands on one side of it — same as [record]. *)
+let epoch = Atomic.make (Fbp_util.Timer.now ())
 let events : event list ref = ref []
 let event_count = ref 0
 
@@ -49,10 +52,10 @@ let reset () =
       Hashtbl.reset counters;
       Hashtbl.reset histograms;
       gc_base := Some (Gc.quick_stat ());
-      epoch := Fbp_util.Timer.now ())
+      Atomic.set epoch (Fbp_util.Timer.now ()))
 
 let record name ph args =
-  let ts = (Fbp_util.Timer.now () -. !epoch) *. 1e6 in
+  let ts = (Fbp_util.Timer.now () -. Atomic.get epoch) *. 1e6 in
   let tid = (Domain.self () :> int) in
   with_lock (fun () ->
       if !event_count < max_events then begin
@@ -68,10 +71,8 @@ let span ?args name f =
   end
 
 (* The trace clock, exposed so the profiler can timestamp pool-occupancy
-   samples and translate Runtime_events timestamps onto the same axis.
-   Reads [epoch] without the lock: it only moves on [reset], and a racing
-   read merely lands on one side of the reset — same as [record]. *)
-let now_us () = (Fbp_util.Timer.now () -. !epoch) *. 1e6
+   samples and translate Runtime_events timestamps onto the same axis. *)
+let now_us () = (Fbp_util.Timer.now () -. Atomic.get epoch) *. 1e6
 
 (* Unpaired span halves.  [span] is the discipline (balance by
    construction); these exist for callers whose begin/end sites cannot

@@ -1,0 +1,12 @@
+(* Mutual recursion around shared state: the fixpoint must terminate on
+   the even/odd cycle and both members must end up with the write that
+   only [odd] performs locally.  [run] then reaches it from a parallel
+   region through the cycle. *)
+
+let tick = ref 0
+
+let rec even n = if n = 0 then ignore !tick else odd (n - 1)
+
+and odd n = if n = 0 then incr tick else even (n - 1)
+
+let run () = Fbp_util.Pool.fork2 (fun () -> even 4; 0) (fun () -> odd 3; 1)

@@ -1,0 +1,8 @@
+(* Pure functions: the analysis must report "pure" for every binding,
+   including self-recursion (the fixpoint must not invent effects). *)
+
+let add a b = a + b
+
+let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+
+let twice f x = f (f x)

@@ -1,0 +1,17 @@
+(* Raise taxonomy fixture: [main] lets a bare exception escape the
+   (test-configured) CLI entry; [safe_main] catches it; [typed_main]
+   resolves to the Fbp_error taxonomy, which is sanctioned. *)
+
+exception Overflow
+
+let boom () = raise Overflow
+
+let guarded () = try boom () with Overflow -> ()
+
+let main () = boom ()
+
+let safe_main () = guarded ()
+
+let typed_main () =
+  Fbp_resilience.Fbp_error.raise_error
+    (Fbp_resilience.Fbp_error.Internal { site = "fixture"; msg = "typed" })

@@ -1,0 +1,9 @@
+(* Transitive *read* of shared mutable state from a parallel closure:
+   racing an unsynchronized Hashtbl reader against any writer is still a
+   crash in OCaml, so reads count too. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let lookup k = Hashtbl.find_opt table k
+
+let scan () = Fbp_util.Pool.run_chunks ~n_chunks:2 (fun c -> ignore (lookup c))

@@ -1,0 +1,9 @@
+(* Module-level mutable state with accessor functions.  On its own this
+   is fine; the race only appears when another module's parallel closure
+   reaches [bump] (see Fix_writer). *)
+
+let hits = ref 0
+
+let bump () = incr hits
+
+let count () = !hits

@@ -1,0 +1,9 @@
+(* Nondeterminism two calls below the entry point: the tests run the
+   determinism rule with [drive] as the deterministic entry and expect
+   the taint at [roll] to be reported with its call chain. *)
+
+let roll n = Random.int n
+
+let step n = roll n
+
+let drive n = step n

@@ -278,6 +278,218 @@ let test_parse_error_is_reported () =
   | Ok _ -> Alcotest.fail "missing file must not lint clean"
   | Error _ -> ()
 
+(* ---------- ratchet ---------- *)
+
+let test_ratchet () =
+  let ds = lint {|let r () = Random.int 10
+|} in
+  let key = D.key (List.hd ds) in
+  let r =
+    Lint.ratchet
+      ~old_keys:[ key; "stale.ml:3:io-discipline" ]
+      ~current:ds
+  in
+  Alcotest.(check (list string)) "kept" [ key ] r.Lint.kept;
+  Alcotest.(check (list string))
+    "retired" [ "stale.ml:3:io-discipline" ] r.Lint.retired;
+  Alcotest.(check (list string)) "rejected" [] r.Lint.rejected;
+  let r = Lint.ratchet ~old_keys:[] ~current:ds in
+  Alcotest.(check (list string)) "new finding rejected" [ key ] r.Lint.rejected;
+  let r = Lint.ratchet ~old_keys:[ "gone.ml:1:determinism" ] ~current:[] in
+  Alcotest.(check (list string))
+    "clean run retires everything" [ "gone.ml:1:determinism" ] r.Lint.retired
+
+(* ---------- deferred staleness for semantic rules ---------- *)
+
+let test_suppression_defer () =
+  let module S = Fbp_analysis.Suppress in
+  let src =
+    {|(* fbp-|} ^ {|lint: allow domain-safety |} ^ "\xe2\x80\x94"
+    ^ {| maybe the interproc pass matches it *)
+let x = 1
+|}
+  in
+  let file = "lib/fake/fixture.ml" in
+  let sups, malformed = S.scan ~file src in
+  Alcotest.(check int) "directive parses" 0 (List.length malformed);
+  (* syntactic-only run: unused semantic-rule suppressions are deferred *)
+  let deferred =
+    S.apply
+      ~defer:(fun rules -> List.exists (String.equal "domain-safety") rules)
+      ~file sups []
+  in
+  Alcotest.(check int) "deferred, not reported" 0 (List.length deferred);
+  (* combined run: no deferral — the suppression is genuinely stale *)
+  let sups, _ = S.scan ~file src in
+  let reported = S.apply ~file sups [] in
+  Alcotest.(check bool) "stale in a combined run" true
+    (has_rule "lint-directive" reported)
+
+(* ---------- interprocedural (typed fixtures) ---------- *)
+
+module Ip = Fbp_analysis.Interproc
+module Cl = Fbp_analysis.Cmt_loader
+
+(* dune runs the test binary from _build/default/test, where the fixture
+   library's build artifacts sit under fixtures/; when invoked from
+   elsewhere the typed tests skip (the @lint alias still covers the
+   real tree). *)
+let fixture_root =
+  List.find_opt Sys.file_exists [ "fixtures"; "test/fixtures" ]
+
+let fixture_result =
+  lazy
+    (match fixture_root with
+    | None -> None
+    | Some root ->
+      let units, errors = Cl.scan ~roots:[ root ] in
+      let cfg =
+        {
+          (Ip.default_config ~cmt_roots:[ root ]) with
+          Ip.det_entries = [ "Fbp_lint_fixtures.Fix_taint.drive" ];
+          cli_entries =
+            [
+              "Fbp_lint_fixtures.Fix_raise.main";
+              "Fbp_lint_fixtures.Fix_raise.safe_main";
+              "Fbp_lint_fixtures.Fix_raise.typed_main";
+            ];
+        }
+      in
+      Some (cfg, units, Ip.analyze_units cfg units errors))
+
+let signature_of r fn =
+  match
+    List.find_opt (fun (f, _) -> String.equal f fn) r.Ip.signatures
+  with
+  | Some (_, s) -> s
+  | None -> "<missing>"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+  in
+  go 0
+
+let with_fixtures f =
+  match Lazy.force fixture_result with
+  | None -> () (* no typed artifacts here; covered by @lint *)
+  | Some (cfg, units, r) -> f cfg units r
+
+let test_ip_signatures () =
+  with_fixtures (fun _ _ r ->
+      let check_sig fn expected =
+        Alcotest.(check string) fn expected
+          (signature_of r ("Fbp_lint_fixtures." ^ fn))
+      in
+      check_sig "Fix_pure.add" "pure";
+      check_sig "Fix_pure.fact" "pure";
+      check_sig "Fix_pure.twice" "pure";
+      check_sig "Fix_state.bump" "writes_shared(1)";
+      check_sig "Fix_state.count" "reads_mutable(1)";
+      (* transitive: launch's own text is clean, the write flows in *)
+      check_sig "Fix_writer.work" "writes_shared(1)";
+      check_sig "Fix_writer.middle" "writes_shared(1)";
+      (* taint propagates up the drive -> step -> roll chain *)
+      check_sig "Fix_taint.roll" "nondeterministic";
+      check_sig "Fix_taint.drive" "nondeterministic";
+      (* the even/odd cycle converges with both effects on both members *)
+      check_sig "Fix_cycle.even" "writes_shared(1) reads_mutable(1)";
+      check_sig "Fix_cycle.odd" "writes_shared(1) reads_mutable(1)";
+      (* raises escape boom and main, are caught in guarded/safe_main *)
+      Alcotest.(check bool) "boom raises Overflow" true
+        (contains
+           (signature_of r "Fbp_lint_fixtures.Fix_raise.boom")
+           "raises(Overflow)");
+      check_sig "Fix_raise.guarded" "pure";
+      check_sig "Fix_raise.safe_main" "pure")
+
+let test_ip_seeded_race () =
+  with_fixtures (fun _ _ r ->
+      (* the syntactic rule sees nothing: fix_writer.ml has no mutable
+         state and fix_state.ml has no parallelism *)
+      (match fixture_root with
+      | Some root when Sys.file_exists (Filename.concat root "fix_writer.ml")
+        ->
+        let ic = open_in (Filename.concat root "fix_writer.ml") in
+        let src =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        Alcotest.(check bool) "syntactic pass misses the race" false
+          (has_rule "domain-safety" (lint ~path:"lib/fake/fix_writer.ml" src))
+      | _ -> ());
+      (* the interprocedural pass reports it with the cross-module chain *)
+      let hit =
+        List.find_opt
+          (fun (d : D.t) ->
+            String.equal d.D.rule "domain-safety"
+            && contains d.D.msg "Fix_state.bump"
+            && contains d.D.file "fix_writer.ml")
+          r.Ip.diagnostics
+      in
+      match hit with
+      | None ->
+        Alcotest.fail
+          ("seeded transitive race not found in:\n"
+          ^ String.concat "\n" (List.map D.to_text r.Ip.diagnostics))
+      | Some d ->
+        Alcotest.(check bool) "chain names the middle hop" true
+          (contains d.D.msg "Fix_writer.middle"))
+
+let test_ip_determinism_and_raises () =
+  with_fixtures (fun _ _ r ->
+      Alcotest.(check bool) "taint reported at roll" true
+        (List.exists
+           (fun (d : D.t) ->
+             String.equal d.D.rule "determinism"
+             && contains d.D.file "fix_taint.ml"
+             && contains d.D.msg "Fix_taint.drive")
+           r.Ip.diagnostics);
+      Alcotest.(check bool) "Overflow escaping main reported" true
+        (List.exists
+           (fun (d : D.t) ->
+             String.equal d.D.rule "error-taxonomy"
+             && contains d.D.msg "Overflow"
+             && contains d.D.msg "Fix_raise.main")
+           r.Ip.diagnostics);
+      Alcotest.(check bool) "guarded entries stay quiet" false
+        (List.exists
+           (fun (d : D.t) ->
+             String.equal d.D.rule "error-taxonomy"
+             && (contains d.D.msg "safe_main"
+                || contains d.D.msg "typed_main"))
+           r.Ip.diagnostics))
+
+let render_result r =
+  String.concat "\n" (List.map D.to_text r.Ip.diagnostics)
+  ^ "\n"
+  ^ String.concat "\n"
+      (List.map (fun (f, s) -> f ^ " : " ^ s) r.Ip.signatures)
+
+let test_ip_byte_stable () =
+  with_fixtures (fun cfg units r ->
+      let again = Ip.analyze_units cfg units [] in
+      Alcotest.(check string)
+        "two fixture analyses render identically" (render_result r)
+        (render_result again));
+  (* e2e over the real library tree when its artifacts are reachable *)
+  let lib = "../lib" in
+  if Sys.file_exists lib && Sys.is_directory lib then begin
+    let units, errors = Cl.scan ~roots:[ lib ] in
+    if not (List.is_empty units) then begin
+      let cfg = Ip.default_config ~cmt_roots:[ lib ] in
+      let a = Ip.analyze_units cfg units errors in
+      let b = Ip.analyze_units cfg units errors in
+      Alcotest.(check string)
+        "two lib/ analyses render identically" (render_result a)
+        (render_result b);
+      Alcotest.(check bool) "a real number of units" true
+        (a.Ip.units_loaded > 30)
+    end
+  end
+
 let test_repo_is_clean () =
   (* the repo lints itself clean: same invariant CI enforces via @lint.
      The dune test sandbox has no source tree; skip there (the @lint
@@ -305,5 +517,13 @@ let suite =
     Alcotest.test_case "suppression unused" `Quick test_suppression_unused;
     Alcotest.test_case "report shapes" `Quick test_report_shapes;
     Alcotest.test_case "unreadable file" `Quick test_parse_error_is_reported;
+    Alcotest.test_case "baseline ratchet" `Quick test_ratchet;
+    Alcotest.test_case "deferred suppression staleness" `Quick
+      test_suppression_defer;
+    Alcotest.test_case "interproc signatures" `Quick test_ip_signatures;
+    Alcotest.test_case "interproc seeded race" `Quick test_ip_seeded_race;
+    Alcotest.test_case "interproc determinism+raises" `Quick
+      test_ip_determinism_and_raises;
+    Alcotest.test_case "interproc byte-stable" `Quick test_ip_byte_stable;
     Alcotest.test_case "repo lints clean" `Quick test_repo_is_clean;
   ]
